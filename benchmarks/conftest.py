@@ -1,0 +1,24 @@
+"""Benchmark configuration.
+
+Every benchmark regenerates one paper figure.  The figure experiments
+are minutes-scale end-to-end runs, so each executes exactly once
+(``rounds=1``) — the timing recorded is the figure's regeneration
+cost, and the assertions check the paper's qualitative claims.
+
+Scale knobs: set ``REPRO_BENCH_SEEDS`` (default 1) to average over
+more repetitions, as the paper does with 3.
+"""
+
+from __future__ import annotations
+
+import os
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def bench_seeds() -> tuple[int, ...]:
+    n = int(os.environ.get("REPRO_BENCH_SEEDS", "1"))
+    return tuple(range(max(1, n)))

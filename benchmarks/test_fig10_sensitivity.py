@@ -1,0 +1,79 @@
+"""Figure 10 — sensitivity ablations.
+
+(a) Baseline weight sweep (0.05→5) on n5v8 / n6v10: however JCAB and
+    FACT tune their internal weights, they never reach PaMO/PaMO+ —
+    the paper's argument that linear weighting cannot capture the true
+    preference.
+(b) Termination-threshold sweep (0.02→0.2): PaMO's benefit stays high
+    and stable; the baselines fluctuate and are threshold-sensitive.
+"""
+
+import numpy as np
+
+from conftest import bench_seeds, run_once
+from repro.bench import (
+    fig10a_weight_sensitivity,
+    fig10b_threshold_sensitivity,
+    format_table,
+)
+
+
+def test_fig10a_weight_sensitivity(benchmark):
+    records = run_once(
+        benchmark,
+        fig10a_weight_sensitivity,
+        weight_values=(0.05, 0.1, 0.2, 0.5, 0.8, 1.0, 2.0, 5.0),
+        configs=((5, 8), (6, 10)),
+        seeds=bench_seeds(),
+    )
+    rows = [
+        [r["config"], r["weight"], r["JCAB"], r["FACT"], r["PaMO"], r["PaMO+"]]
+        for r in records
+    ]
+    print()
+    print(
+        format_table(
+            ["config", "w", "JCAB", "FACT", "PaMO", "PaMO+"],
+            rows,
+            title="Fig.10a baseline weight sensitivity",
+        )
+    )
+    for cfg in ("n5v8", "n6v10"):
+        sub = [r for r in records if r["config"] == cfg]
+        best_jcab = max(r["JCAB"] for r in sub)
+        best_fact = max(r["FACT"] for r in sub)
+        pamo = np.mean([r["PaMO"] for r in sub])
+        plus = np.mean([r["PaMO+"] for r in sub])
+        # even the best-tuned baselines stay below the PaMO family
+        assert best_jcab < max(pamo, plus) + 1e-9, f"{cfg}: JCAB beats PaMO"
+        assert best_fact <= max(pamo, plus) + 0.02, f"{cfg}: FACT beats PaMO"
+
+
+def test_fig10b_threshold_sensitivity(benchmark):
+    records = run_once(
+        benchmark,
+        fig10b_threshold_sensitivity,
+        deltas=(0.02, 0.04, 0.06, 0.08, 0.1, 0.2),
+        configs=((5, 8),),
+        seeds=bench_seeds(),
+    )
+    rows = [
+        [r["config"], r["delta"], r["JCAB"], r["FACT"], r["PaMO"], r["PaMO+"]]
+        for r in records
+    ]
+    print()
+    print(
+        format_table(
+            ["config", "delta", "JCAB", "FACT", "PaMO", "PaMO+"],
+            rows,
+            title="Fig.10b termination-threshold sensitivity",
+        )
+    )
+    pamo = np.array([r["PaMO"] for r in records])
+    jcab = np.array([r["JCAB"] for r in records])
+    fact = np.array([r["FACT"] for r in records])
+    # PaMO consistently above the baselines across thresholds
+    assert pamo.mean() > jcab.mean()
+    assert pamo.mean() > fact.mean() - 0.02
+    # and reasonably stable (less fluctuation than the worst baseline)
+    assert pamo.std() < max(jcab.std(), fact.std()) + 0.05

@@ -1,0 +1,69 @@
+"""Figure 2 — outcome/resource surfaces of two clips over (r, s).
+
+Paper claim: mAP, e2e latency, bandwidth, computation, and power all
+follow consistent surface shapes across different video clips —
+accuracy saturating in resolution and rising in fps; latency flat in
+fps (uncontended); bandwidth/computation/power scaling with both knobs
+up to ~15 Mbps / ~40 TFLOPs / ~100 W at (2000 px, 30 fps).
+"""
+
+import numpy as np
+
+from conftest import run_once
+from repro.bench import fig2_profiling_surfaces, format_table
+
+
+def test_fig2_profiling_surfaces(benchmark):
+    data = run_once(
+        benchmark,
+        fig2_profiling_surfaces,
+        resolutions=(300, 600, 900, 1200, 1600, 2000),
+        fps_values=(1, 5, 10, 15, 20, 25, 30),
+        clip_names=("mot16-02-like", "mot16-05-like"),
+        n_frames=45,
+        rng=0,
+    )
+    res = data["resolutions"]
+    fps = data["fps_values"]
+    clips = ("mot16-02-like", "mot16-05-like")
+
+    for clip in clips:
+        s = data[clip]
+        # -- paper shapes --------------------------------------------------
+        acc = s["accuracy"]
+        assert acc[-1, -1] > acc[0, 0], "mAP must grow with configuration"
+        assert acc[-1, -1] > 0.55, "high-config mAP in the paper's ~0.8 band"
+        assert acc[0, 0] < 0.45, "low-config mAP in the paper's ~0.2 band"
+        # latency flat in fps, growing in resolution
+        lat = s["latency"]
+        assert np.allclose(lat, lat[:, :1], atol=1e-9)
+        assert lat[-1, 0] > lat[0, 0]
+        # bandwidth ceiling ~15 Mbps at full config
+        net = s["network_mbps"]
+        assert 8 < net[-1, -1] < 25
+        # computation tens of TFLOPs at full config
+        com = s["computation_tflops"]
+        assert 20 < com[-1, -1] < 80
+        # power grows with both knobs
+        pw = s["power_watts"]
+        assert pw[-1, -1] > pw[0, 0] > 0
+
+    # consistent pattern across clips (the figure's headline message)
+    for metric in ("accuracy", "network_mbps", "power_watts"):
+        a = data[clips[0]][metric].ravel()
+        b = data[clips[1]][metric].ravel()
+        assert np.corrcoef(a, b)[0, 1] > 0.75, f"{metric} shapes diverge"
+
+    # print one surface like the paper's subplot grid
+    rows = [
+        [r] + list(data[clips[0]]["accuracy"][i])
+        for i, r in enumerate(res)
+    ]
+    print()
+    print(
+        format_table(
+            ["res\\fps"] + [str(f) for f in fps],
+            rows,
+            title="Fig.2 (clip 1) mAP surface",
+        )
+    )

@@ -1,0 +1,59 @@
+"""Figure 3 — (a) latency accumulation under contention, (b) Pareto set.
+
+Paper claims: (a) when two streams overload one server, queueing delay
+accumulates frame over frame (Video 2's 10 fps × 0.1 s/frame alone
+saturates the node); (b) the EVA outcome space contains multiple
+mutually non-dominating solutions, so a scalar preference is required
+to pick one.
+"""
+
+import numpy as np
+
+from conftest import run_once
+from repro.bench import fig3a_contention, fig3b_pareto, format_table
+
+
+def test_fig3a_latency_accumulation(benchmark):
+    data = run_once(benchmark, fig3a_contention, horizon=5.0)
+    v2 = data["video2_delays"]
+    # queueing delay grows essentially linearly — the figure's staircase
+    assert v2[-1] > v2[0]
+    assert v2[-1] > 0.5, "delay accumulates to large values"
+    diffs = np.diff(v2)
+    assert np.mean(diffs >= -1e-9) > 0.9, "delay is (weakly) increasing"
+    # Video 1 (5 fps) also suffers because the server is shared
+    assert data["video1_delays"].max() > 0.0
+    print(f"\nFig.3a: video2 queueing delay frame1={v2[0]:.2f}s -> last={v2[-1]:.2f}s")
+
+
+def test_fig3b_pareto_solutions(benchmark):
+    data = run_once(benchmark, fig3b_pareto, n_decisions=60, rng=0)
+    front = data["pareto_indices"]
+    assert len(front) >= 3, "multiple Pareto-optimal solutions exist"
+
+    # §2.3 check: representatives must be mutually non-dominating.
+    from repro.baselines.search import orient_minimize
+
+    oriented = orient_minimize(data["outcomes"])
+    reps = data["representatives"]
+    for i in reps:
+        for j in reps:
+            if i == j:
+                continue
+            dominates = np.all(oriented[i] <= oriented[j]) and np.any(
+                oriented[i] < oriented[j]
+            )
+            assert not dominates
+
+    rows = [
+        [f"Solution {k + 1}"] + list(np.round(data["normalized"][idx], 3))
+        for k, idx in enumerate(reps)
+    ]
+    print()
+    print(
+        format_table(
+            ["solution", "ltc", "acc", "net", "com", "eng"],
+            rows,
+            title="Fig.3b normalized outcomes of Pareto representatives",
+        )
+    )

@@ -1,0 +1,42 @@
+"""Figure 7 — normalized benefit vs server count and video count.
+
+Paper claims (weights all 1, bandwidths drawn from {5..30} Mbps):
+across 5–9 servers (10 videos) and 7–11 videos (5 servers), PaMO
+improves over JCAB by 13.6%–53.9% and FACT by 6.5%–16.6%, staying
+within 1.54% of PaMO+.
+"""
+
+import numpy as np
+
+from conftest import bench_seeds, run_once
+from repro.bench import fig7_scaling, format_series
+
+
+def test_fig7_scaling(benchmark):
+    data = run_once(
+        benchmark,
+        fig7_scaling,
+        node_counts=(5, 6, 7, 8, 9),
+        video_counts=(7, 8, 9, 10, 11),
+        fixed_videos=10,
+        fixed_nodes=5,
+        seeds=bench_seeds(),
+    )
+
+    for key, label in (("by_nodes", "Node Number"), ("by_videos", "Video Number")):
+        rows = data[key]
+        methods = ("JCAB", "FACT", "PaMO", "PaMO+")
+        series = {m: [r["normalized"][m] for r in rows] for m in methods}
+        xs = [r["setting"] for r in rows]
+        print()
+        print(format_series(label, xs, series, title=f"Fig.7 ({label})"))
+
+        pamo = np.array(series["PaMO"])
+        jcab = np.array(series["JCAB"])
+        fact = np.array(series["FACT"])
+        plus = np.array(series["PaMO+"])
+        # who wins: PaMO above both baselines on average, near PaMO+
+        assert pamo.mean() > jcab.mean(), f"{key}: PaMO must beat JCAB"
+        assert pamo.mean() > fact.mean() - 0.02, f"{key}: PaMO ~>= FACT"
+        assert (pamo - jcab).max() > 0.1, f"{key}: double-digit JCAB gap"
+        assert plus.mean() - pamo.mean() < 0.12, f"{key}: PaMO near ceiling"

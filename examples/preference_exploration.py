@@ -1,0 +1,110 @@
+"""Deep-dive: learning a pricing preference from pairwise comparisons.
+
+Reproduces §4.2's workflow interactively: a hidden Eq.-13 preference
+(known only to the simulated decision maker) is recovered by the
+pairwise-comparison GP — the machinery behind the paper's Fig. 9.
+
+The EUBO-vs-random comparison also exposes a subtlety worth knowing:
+EUBO asks about pairs likely to contain the *best* outcome, so it
+concentrates model accuracy around the argmax (what the BO loop
+needs), while uniformly random questions spread accuracy over the
+whole space (which is what a uniform pairwise test set measures).
+Both curves are printed; judge each against its own goal.
+
+Run:  python examples/preference_exploration.py
+"""
+
+import numpy as np
+
+from repro.bench.reporting import format_series
+from repro.core import EVAProblem, make_preference
+from repro.pref import DecisionMaker, PreferenceLearner
+from repro.pref.metrics import pairwise_accuracy, sample_test_pairs
+
+
+def learning_curve(eubo: bool, seed: int, checkpoints) -> list[float]:
+    problem = EVAProblem(n_streams=6, bandwidths_mbps=[10.0, 20.0, 30.0, 15.0])
+    hidden = make_preference(problem, weights=[1.0, 2.5, 0.4, 0.8, 1.8])
+    dm = DecisionMaker(hidden, rng=seed)
+
+    gen = np.random.default_rng(seed)
+    outcomes = np.stack(
+        [problem.evaluate(*problem.sample_decision(gen)) for _ in range(40)]
+    )
+    learner = PreferenceLearner(outcomes, dm, rng=seed)
+    learner.initialize(3)
+    test_pairs = sample_test_pairs(outcomes, 400, rng=999)
+
+    curve = []
+    asked = 3
+    for target in checkpoints:
+        while asked < target:
+            if eubo:
+                learner.query_step()
+            else:
+                i, j = gen.choice(len(outcomes), 2, replace=False)
+                learner._ask(int(i), int(j))
+                learner.model.fit(learner._data)
+            asked += 1
+        curve.append(pairwise_accuracy(learner.utility, hidden.value, test_pairs))
+    return curve
+
+
+def main() -> None:
+    checkpoints = [3, 6, 9, 18, 27]
+    seeds = range(3)
+    eubo_curves = np.array([learning_curve(True, s, checkpoints) for s in seeds])
+    rand_curves = np.array([learning_curve(False, s, checkpoints) for s in seeds])
+
+    print(
+        format_series(
+            "comparisons",
+            checkpoints,
+            {
+                "EUBO selection": eubo_curves.mean(axis=0),
+                "random selection": rand_curves.mean(axis=0),
+            },
+            title="Pairwise prediction accuracy (uniform test pairs)",
+        )
+    )
+    # Accuracy *at the top*: does the model pick the true best outcome?
+    def top1_hit(eubo: bool) -> float:
+        hits = 0
+        for s in seeds:
+            problem = EVAProblem(
+                n_streams=6, bandwidths_mbps=[10.0, 20.0, 30.0, 15.0]
+            )
+            hidden = make_preference(problem, weights=[1.0, 2.5, 0.4, 0.8, 1.8])
+            dm = DecisionMaker(hidden, rng=s)
+            gen = np.random.default_rng(s)
+            outcomes = np.stack(
+                [problem.evaluate(*problem.sample_decision(gen)) for _ in range(40)]
+            )
+            learner = PreferenceLearner(outcomes, dm, rng=s).initialize(3)
+            for _ in range(15):
+                if eubo:
+                    learner.query_step()
+                else:
+                    i, j = gen.choice(len(outcomes), 2, replace=False)
+                    learner._ask(int(i), int(j))
+                    learner.model.fit(learner._data)
+            pred_best = int(np.argmax(learner.utility(outcomes)))
+            true_order = np.argsort(-hidden.value(outcomes))
+            hits += int(pred_best in true_order[:3])
+        return hits / len(list(seeds))
+
+    print(
+        f"\ntop-3 identification of the truly best outcome after 18 queries: "
+        f"EUBO {top1_hit(True) * 100:.0f}% vs random {top1_hit(False) * 100:.0f}% "
+        "— EUBO spends its question budget where the optimizer needs it."
+    )
+    final = eubo_curves.mean(axis=0)[-1]
+    print(
+        f"With {checkpoints[-1]} comparisons the learned preference ranks "
+        f"{final * 100:.1f}% of uniform outcome pairs like the hidden pricing "
+        "rules — without ever seeing a single weight."
+    )
+
+
+if __name__ == "__main__":
+    main()

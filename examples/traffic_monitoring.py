@@ -1,0 +1,89 @@
+"""Scenario: city traffic monitoring under tiered electricity pricing.
+
+The paper's §1 motivates preference-awareness with intricate pricing:
+tiered electricity, per-operator traffic prices, QoS-dependent revenue.
+This example models a city deployment of 8 intersection cameras on 5
+edge servers, and contrasts two operating regimes:
+
+* **off-peak** — electricity is cheap; the operator's benefit is
+  dominated by detection accuracy (incident response quality);
+* **peak** — tiered pricing kicks in; energy deviations cost 4x, and
+  network traffic is billed at a premium.
+
+PaMO is re-run per regime and adapts its configuration; the fixed
+single-objective baselines (JCAB with its accuracy/energy weighting,
+FACT with latency/accuracy) cannot follow the regime change as well.
+
+Run:  python examples/traffic_monitoring.py
+"""
+
+import numpy as np
+
+from repro.baselines import FACT, JCAB
+from repro.bench.reporting import format_table
+from repro.core import EVAProblem, PaMO, make_preference
+from repro.pref import DecisionMaker
+from repro.video import default_library
+
+REGIMES = {
+    # weights in canonical order [ltc, acc, net, com, eng]
+    "off-peak (accuracy first)": [1.0, 3.0, 0.5, 0.5, 0.5],
+    "peak (tiered energy/net)": [1.0, 1.0, 2.5, 0.5, 4.0],
+}
+
+
+def main() -> None:
+    # Cameras watch different scenes: dense downtown crossings encode
+    # hotter (texture) than sparse arterial roads.
+    library = default_library(n_frames=30, rng=1)
+    textures = [clip.config.texture for clip in library.take(8)]
+    problem = EVAProblem(
+        n_streams=8,
+        bandwidths_mbps=[5.0, 10.0, 15.0, 25.0, 30.0],
+        textures=textures,
+    )
+
+    for regime, weights in REGIMES.items():
+        print(f"\n=== {regime} ===")
+        pref = make_preference(problem, weights=weights)
+        dm = DecisionMaker(pref, rng=0)
+        pamo_out = PaMO(problem, dm, rng=0, max_iters=8).optimize()
+
+        rows = []
+        d = pamo_out.decision
+        rows.append(
+            [
+                "PaMO",
+                float(pref.value(d.outcome)),
+                round(float(np.mean(d.resolutions)), 0),
+                round(float(np.mean(d.fps)), 1),
+                round(d.outcome[4], 1),
+            ]
+        )
+        for base in (JCAB(problem, rng=0), FACT(problem)):
+            out = base.optimize().decision
+            rows.append(
+                [
+                    out.method,
+                    float(pref.value(out.outcome)),
+                    round(float(np.mean(out.resolutions)), 0),
+                    round(float(np.mean(out.fps)), 1),
+                    round(out.outcome[4], 1),
+                ]
+            )
+        rows.sort(key=lambda r: -r[1])
+        print(
+            format_table(
+                ["method", "true benefit", "mean res", "mean fps", "power (W)"],
+                rows,
+            )
+        )
+
+    print(
+        "\nPaMO shifts toward low-power / low-traffic configurations in the "
+        "peak regime while the baselines keep their fixed operating point."
+    )
+
+
+if __name__ == "__main__":
+    main()

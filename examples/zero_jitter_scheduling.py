@@ -1,0 +1,108 @@
+"""Deep-dive: the zero-jitter scheduling theory made visible.
+
+Walks through §3/§4.1 of the paper on the discrete-event testbed:
+
+1. a high-rate stream self-contends (Fig. 3a) — splitting fixes it;
+2. co-scheduling non-harmonic periods causes jitter (Fig. 4);
+3. Algorithm 1's grouping + Theorem-1 staggering measures exactly
+   zero queueing delay, validating Theorems 1–3 empirically.
+
+Run:  python examples/zero_jitter_scheduling.py
+"""
+
+import numpy as np
+
+from repro.bench.reporting import format_table
+from repro.sched import (
+    PeriodicStream,
+    group_streams,
+    resolve_assignment,
+    split_high_rate_streams,
+    stagger_offsets,
+    theorem1_zero_jitter,
+)
+from repro.sim import EdgeCluster, StreamSpec
+
+
+def run_group(streams, assignment, offsets=None, horizon=12.0, n_servers=2):
+    specs = [
+        StreamSpec(
+            s.stream_id,
+            fps=s.fps,
+            processing_time=s.processing_time,
+            bits_per_frame=1e-3,
+            offset=0.0 if offsets is None else offsets[i],
+        )
+        for i, s in enumerate(streams)
+    ]
+    rep = EdgeCluster([1e6] * n_servers).run(specs, assignment, horizon)
+    return rep
+
+
+def main() -> None:
+    # ---- 1. self-contention of a high-rate stream -------------------------
+    print("1) High-rate stream: 10 fps x 0.15 s/frame on one server")
+    hot = PeriodicStream(0, fps=10.0, resolution=1600, processing_time=0.15,
+                         bits_per_frame=1.0)
+    rep = run_group([hot], [0], horizon=5.0)
+    print(f"   un-split: max queueing delay = {rep.streams[0].queueing_delays.max():.2f} s"
+          f" (grows every frame)")
+    subs = split_high_rate_streams([hot])
+    rep = run_group(subs, [0, 1], n_servers=2, horizon=5.0)
+    worst = max(m.max_jitter for m in rep.streams.values())
+    print(f"   split into {len(subs)} sub-streams on 2 servers: max delay = {worst:.4f} s")
+
+    # ---- 2. non-harmonic co-scheduling ------------------------------------
+    print("\n2) Non-harmonic periods (0.3 s & 0.5 s) share one server")
+    s1 = PeriodicStream(1, fps=1 / 0.3, resolution=960, processing_time=0.12,
+                        bits_per_frame=1.0)
+    s2 = PeriodicStream(2, fps=2.0, resolution=960, processing_time=0.12,
+                        bits_per_frame=1.0)
+    rep = run_group([s1, s2], [0, 0])
+    print(f"   Theorem-1 premise holds? {theorem1_zero_jitter([s1, s2])}")
+    print(f"   measured max jitter = {rep.max_jitter * 1e3:.1f} ms  (Fig. 4's pathology)")
+
+    # ---- 3. Algorithm 1 to the rescue --------------------------------------
+    print("\n3) Algorithm 1 on six mixed-rate streams, 3 servers")
+    rng = np.random.default_rng(0)
+    streams = [
+        PeriodicStream(
+            i,
+            fps=float(rng.choice([2.0, 5.0, 10.0, 15.0])),
+            resolution=float(rng.choice([600, 900, 1200])),
+            processing_time=float(rng.uniform(0.01, 0.05)),
+            bits_per_frame=float(rng.uniform(1e4, 1e5)),
+        )
+        for i in range(6)
+    ]
+    grouping = group_streams(streams, 3)
+    assignment = resolve_assignment(grouping, [10.0, 20.0, 30.0], streams)
+    offsets_by_stream = {}
+    for grp in grouping.groups:
+        for s, off in zip(grp, stagger_offsets(grp)):
+            offsets_by_stream[s.stream_id] = off
+    offsets = [offsets_by_stream[s.stream_id] for s in streams]
+    rep = run_group(streams, assignment, offsets=offsets, n_servers=3)
+
+    rows = [
+        [
+            s.stream_id,
+            f"{1 / s.period:.0f} fps",
+            f"{s.processing_time * 1e3:.0f} ms",
+            assignment[i],
+            f"{rep.streams[s.stream_id].max_jitter * 1e6:.2f} µs",
+        ]
+        for i, s in enumerate(streams)
+    ]
+    print(
+        format_table(
+            ["stream", "rate", "proc time", "server", "max jitter"],
+            rows,
+        )
+    )
+    print(f"   cluster-wide max jitter: {rep.max_jitter * 1e6:.3f} µs "
+          "(zero, as Theorem 1 promises)")
+
+
+if __name__ == "__main__":
+    main()

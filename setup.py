@@ -1,0 +1,12 @@
+"""Setup shim.
+
+The execution environment has no `wheel` package and no network, so PEP
+660 editable installs (`pip install -e .`) fail with "invalid command
+'bdist_wheel'".  `python setup.py develop` provides the equivalent
+egg-link editable install using only setuptools.  All metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,37 @@
+"""Baseline schedulers and classical weighting rules (§5.1, §6).
+
+* :class:`~repro.baselines.jcab.JCAB` — Lyapunov drift-plus-penalty
+  configuration adaptation with First-Fit placement (Zhang et al.,
+  ToN '21 [34]): optimizes a linear weighting of accuracy and energy.
+* :class:`~repro.baselines.fact.FACT` — block-coordinate-descent
+  optimization of weighted latency + accuracy with resolution and
+  allocation knobs (Liu et al., INFOCOM '18 [19]).
+* :mod:`repro.baselines.weights` — Equal / ROC / Rank-sum / Pseudo
+  classical weight rules ([10], discussed in §1 and §6).
+* :mod:`repro.baselines.search` — random search and the exhaustive
+  oracle for small instances, plus Pareto-front extraction (§2.3).
+"""
+
+from repro.baselines.jcab import JCAB
+from repro.baselines.fact import FACT
+from repro.baselines.weights import (
+    equal_weights,
+    roc_weights,
+    rank_sum_weights,
+    pseudo_weights,
+)
+from repro.baselines.search import RandomSearch, pareto_front, exhaustive_best
+from repro.baselines.weighted import WeightedSumScheduler
+
+__all__ = [
+    "JCAB",
+    "FACT",
+    "equal_weights",
+    "roc_weights",
+    "rank_sum_weights",
+    "pseudo_weights",
+    "RandomSearch",
+    "pareto_front",
+    "exhaustive_best",
+    "WeightedSumScheduler",
+]

@@ -1,0 +1,70 @@
+"""Classical multi-objective weight definitions ([10], §1/§6).
+
+Each rule maps an objective *ranking* (or a Pareto front, for
+pseudo-weights) to a weight vector summing to 1.  These are the fixed
+schemes the paper argues "are not flexible enough to adapt to diverse
+and dynamic EVA system environments".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils import check_array_2d
+
+
+def _check_k(k: int) -> int:
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    return int(k)
+
+
+def equal_weights(k: int) -> np.ndarray:
+    """w_i = 1/k."""
+    k = _check_k(k)
+    return np.full(k, 1.0 / k)
+
+
+def roc_weights(ranks) -> np.ndarray:
+    """Rank-order-centroid: w_(i) = (1/k) Σ_{j=i}^{k} 1/j.
+
+    ``ranks[i]`` is objective i's importance rank (1 = most important).
+    """
+    ranks = np.asarray(ranks, dtype=int)
+    k = _check_k(ranks.size)
+    if sorted(ranks.tolist()) != list(range(1, k + 1)):
+        raise ValueError(f"ranks must be a permutation of 1..{k}, got {ranks}")
+    harmonic = np.cumsum(1.0 / np.arange(1, k + 1)[::-1])[::-1]  # Σ_{j=i}^k 1/j
+    by_rank = harmonic / k
+    return by_rank[ranks - 1]
+
+
+def rank_sum_weights(ranks) -> np.ndarray:
+    """Rank-sum: w_(i) = 2(k + 1 − i) / (k(k + 1))."""
+    ranks = np.asarray(ranks, dtype=int)
+    k = _check_k(ranks.size)
+    if sorted(ranks.tolist()) != list(range(1, k + 1)):
+        raise ValueError(f"ranks must be a permutation of 1..{k}, got {ranks}")
+    return 2.0 * (k + 1 - ranks) / (k * (k + 1))
+
+
+def pseudo_weights(front, point_index: int) -> np.ndarray:
+    """Pseudo-weights of one Pareto-front point (Deb's definition).
+
+    w_i ∝ (f_i^max − f_i) / (f_i^max − f_i^min): the relative distance
+    of the chosen point from the worst value on each (minimized)
+    objective, normalized to sum to 1.
+    """
+    front = check_array_2d("front", front)
+    if not (0 <= point_index < front.shape[0]):
+        raise ValueError(
+            f"point_index {point_index} out of range for front of {front.shape[0]}"
+        )
+    f_min = front.min(axis=0)
+    f_max = front.max(axis=0)
+    span = np.where(f_max > f_min, f_max - f_min, 1.0)
+    raw = (f_max - front[point_index]) / span
+    total = raw.sum()
+    if total <= 0:
+        return np.full(front.shape[1], 1.0 / front.shape[1])
+    return raw / total

@@ -1,0 +1,55 @@
+"""Result persistence: experiment records to/from JSON.
+
+Experiment entry points return nested dicts/lists containing numpy
+types; this module serializes them losslessly enough for re-plotting
+(ndarrays become nested lists tagged with their dtype) so CLI runs can
+be saved with ``--output`` and analyzed offline.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+
+def _encode(obj: Any) -> Any:
+    if isinstance(obj, np.ndarray):
+        return {"__ndarray__": obj.tolist(), "dtype": str(obj.dtype)}
+    if isinstance(obj, (np.floating, np.integer)):
+        return obj.item()
+    if isinstance(obj, np.bool_):
+        return bool(obj)
+    if isinstance(obj, dict):
+        return {str(k): _encode(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_encode(v) for v in obj]
+    if isinstance(obj, (str, int, float, bool)) or obj is None:
+        return obj
+    raise TypeError(f"cannot serialize {type(obj).__name__}")
+
+
+def _decode(obj: Any) -> Any:
+    if isinstance(obj, dict):
+        if "__ndarray__" in obj:
+            return np.asarray(obj["__ndarray__"], dtype=obj.get("dtype", "float64"))
+        return {k: _decode(v) for k, v in obj.items()}
+    if isinstance(obj, list):
+        return [_decode(v) for v in obj]
+    return obj
+
+
+def save_results(results: Any, path) -> Path:
+    """Serialize an experiment result structure to JSON at ``path``."""
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    p.write_text(json.dumps(_encode(results), indent=2))
+    return p
+
+
+def load_results(path) -> Any:
+    """Load a structure previously written by :func:`save_results`."""
+    p = Path(path)
+    return _decode(json.loads(p.read_text()))

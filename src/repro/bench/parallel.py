@@ -1,0 +1,48 @@
+"""Parallel experiment execution over seeds/settings.
+
+Figure sweeps repeat independent (setting, seed) arms; this helper
+fans them out over processes (each arm is CPU-bound numpy/linalg, so
+processes — not threads — buy wall-clock).  Functions and argument
+tuples must be picklable (top-level functions, plain data).
+
+The sequential path is kept for ``n_workers=1`` so tests and small runs
+avoid process overhead, and failures in any arm propagate with the
+original traceback.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, Sequence
+
+
+def default_workers() -> int:
+    """Worker count: REPRO_WORKERS env var, else CPU count − 1 (min 1)."""
+    env = os.environ.get("REPRO_WORKERS")
+    if env:
+        return max(1, int(env))
+    return max(1, (os.cpu_count() or 2) - 1)
+
+
+def run_parallel(
+    fn: Callable,
+    args_list: Sequence[tuple],
+    *,
+    n_workers: int | None = None,
+) -> list:
+    """``[fn(*args) for args in args_list]``, fanned over processes.
+
+    Results come back in input order.  ``n_workers=1`` runs inline
+    (no pool), which is also the fallback when only one arm exists.
+    """
+    args_list = list(args_list)
+    if n_workers is None:
+        n_workers = default_workers()
+    if n_workers < 1:
+        raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+    if n_workers == 1 or len(args_list) <= 1:
+        return [fn(*args) for args in args_list]
+    with ProcessPoolExecutor(max_workers=min(n_workers, len(args_list))) as pool:
+        futures = [pool.submit(fn, *args) for args in args_list]
+        return [f.result() for f in futures]

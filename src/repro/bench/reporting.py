@@ -1,0 +1,95 @@
+"""ASCII rendering of experiment results (the paper's rows/series)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    *,
+    title: str | None = None,
+    float_fmt: str = "{:.3f}",
+) -> str:
+    """Monospace table with auto-sized columns."""
+
+    def render(cell) -> str:
+        if isinstance(cell, float) or isinstance(cell, np.floating):
+            return float_fmt.format(float(cell))
+        return str(cell)
+
+    grid = [[render(c) for c in row] for row in rows]
+    cols = [list(col) for col in zip(*([list(headers)] + grid))] if grid else [
+        [h] for h in headers
+    ]
+    widths = [max(len(c) for c in col) for col in cols]
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in grid:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence,
+    series: dict[str, Sequence[float]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render named series against a shared x-axis as a table."""
+    headers = [x_label] + list(series.keys())
+    rows = []
+    for i, x in enumerate(x_values):
+        rows.append([x] + [series[name][i] for name in series])
+    return format_table(headers, rows, title=title)
+
+
+#: shade ramp for ASCII heatmaps, light to dark
+_SHADES = " ░▒▓█"
+
+
+def format_heatmap(
+    matrix,
+    *,
+    row_labels: Sequence | None = None,
+    col_labels: Sequence | None = None,
+    title: str | None = None,
+) -> str:
+    """Unicode-block heatmap of a 2-D array (min→light, max→dark).
+
+    The terminal rendition of the paper's Fig. 2 surfaces: each cell is
+    one shade character, rows labelled on the left.
+    """
+    m = np.asarray(matrix, dtype=float)
+    if m.ndim != 2:
+        raise ValueError(f"matrix must be 2-D, got shape {m.shape}")
+    lo = np.nanmin(m)
+    hi = np.nanmax(m)
+    span = hi - lo if hi > lo else 1.0
+    levels = np.clip(((m - lo) / span) * (len(_SHADES) - 1), 0, len(_SHADES) - 1)
+    levels = levels.astype(int)
+
+    rl = [str(r) for r in (row_labels if row_labels is not None else range(m.shape[0]))]
+    if len(rl) != m.shape[0]:
+        raise ValueError(f"need {m.shape[0]} row labels, got {len(rl)}")
+    width = max(len(r) for r in rl)
+    lines = []
+    if title:
+        lines.append(f"{title}  (min={lo:.3g}, max={hi:.3g})")
+    if col_labels is not None:
+        cl = [str(c) for c in col_labels]
+        if len(cl) != m.shape[1]:
+            raise ValueError(f"need {m.shape[1]} col labels, got {len(cl)}")
+        lines.append(" " * (width + 1) + " ".join(c[:1] for c in cl))
+    for label, row in zip(rl, levels):
+        cells = " ".join(_SHADES[v] for v in row)
+        lines.append(f"{label.rjust(width)} {cells}")
+    return "\n".join(lines)

@@ -1,0 +1,37 @@
+"""Bayesian-optimization substrate (replaces BoTorch's acquisition zoo).
+
+Provides the initial designs, the closed-form EUBO pair-selection
+criterion (Eq. 11), and the Monte-Carlo batch acquisition functions of
+§5.1 — qNEI (the paper's choice), qEI, qUCB, and qSR — plus the outer
+BO driver of Algorithm 2.
+"""
+
+from repro.bo.design import sobol_design, latin_hypercube, grid_design
+from repro.bo.eubo import eubo_closed_form, select_eubo_pair
+from repro.bo.acquisition import (
+    AcquisitionFunction,
+    QNEI,
+    QEI,
+    QUCB,
+    QSR,
+    ThompsonSampling,
+    make_acquisition,
+)
+from repro.bo.loop import BOLoop, BOResult
+
+__all__ = [
+    "sobol_design",
+    "latin_hypercube",
+    "grid_design",
+    "eubo_closed_form",
+    "select_eubo_pair",
+    "AcquisitionFunction",
+    "QNEI",
+    "QEI",
+    "QUCB",
+    "QSR",
+    "ThompsonSampling",
+    "make_acquisition",
+    "BOLoop",
+    "BOResult",
+]

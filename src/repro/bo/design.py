@@ -1,0 +1,60 @@
+"""Initial experimental designs over box-bounded spaces.
+
+Algorithm 2 line 2 initializes a configuration set X = {x_u}; these
+space-filling designs generate it.  Sobol uses scipy's generator (with
+graceful handling of non-power-of-two sizes); Latin hypercube is
+implemented directly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.stats import qmc
+
+from repro.utils import as_generator, check_array_2d
+from repro.utils.rng import RngLike
+
+
+def _check_bounds(bounds) -> np.ndarray:
+    b = check_array_2d("bounds", bounds, n_cols=2)
+    if np.any(b[:, 0] >= b[:, 1]):
+        raise ValueError(f"each bounds row must be (lo, hi) with lo < hi, got {b}")
+    return b
+
+
+def sobol_design(bounds, n: int, *, rng: RngLike = None) -> np.ndarray:
+    """Scrambled Sobol points in the box; shape (n, d).
+
+    ``bounds`` is (d, 2) rows of (lo, hi).
+    """
+    b = _check_bounds(bounds)
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    gen = as_generator(rng)
+    sampler = qmc.Sobol(d=b.shape[0], scramble=True, seed=gen)
+    unit = sampler.random(n)
+    return qmc.scale(unit, b[:, 0], b[:, 1])
+
+
+def latin_hypercube(bounds, n: int, *, rng: RngLike = None) -> np.ndarray:
+    """Latin-hypercube sample: one point per axis-stratum; shape (n, d)."""
+    b = _check_bounds(bounds)
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    gen = as_generator(rng)
+    d = b.shape[0]
+    u = np.empty((n, d))
+    for j in range(d):
+        perm = gen.permutation(n)
+        u[:, j] = (perm + gen.random(n)) / n
+    return b[:, 0] + u * (b[:, 1] - b[:, 0])
+
+
+def grid_design(bounds, points_per_dim: int) -> np.ndarray:
+    """Full factorial grid; shape (points_per_dim^d, d)."""
+    b = _check_bounds(bounds)
+    if points_per_dim < 2:
+        raise ValueError(f"points_per_dim must be >= 2, got {points_per_dim}")
+    axes = [np.linspace(lo, hi, points_per_dim) for lo, hi in b]
+    mesh = np.meshgrid(*axes, indexing="ij")
+    return np.stack([m.ravel() for m in mesh], axis=1)

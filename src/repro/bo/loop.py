@@ -1,0 +1,180 @@
+"""The revised Bayesian-optimization driver (Algorithm 2, phase 3).
+
+``BOLoop`` is model-agnostic: it needs a *surrogate adapter* exposing a
+joint benefit sampler and an update hook, an *observe* callable that
+runs a configuration batch through the real system (profiling +
+Algorithm 1, line 16), and a *candidate* callable producing the pool
+the acquisition searches over each iteration.  Convergence follows the
+paper: stop when the best benefit of an iteration moves less than δ,
+or after ``max_iters`` iterations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Protocol
+
+import numpy as np
+
+from repro.bo.acquisition import AcquisitionFunction, QNEI
+from repro.utils import as_generator, check_positive
+from repro.utils.rng import RngLike
+
+
+class SurrogateAdapter(Protocol):
+    """What BOLoop needs from the model stack."""
+
+    def sample_benefit(
+        self, x: np.ndarray, n_samples: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Joint posterior benefit samples, shape (n_samples, len(x))."""
+        ...
+
+    def benefit_mean(self, x: np.ndarray) -> np.ndarray:
+        """Posterior-mean benefit at configurations ``x``."""
+        ...
+
+    def update(self, x: np.ndarray, observations) -> None:
+        """Condition the models on newly observed configurations."""
+        ...
+
+
+@dataclass
+class BOResult:
+    """Outcome of one BO run."""
+
+    best_x: np.ndarray
+    best_z: float
+    n_iterations: int
+    converged: bool
+    history_z: list[float] = field(default_factory=list)  # best-per-iteration
+    observed_x: np.ndarray | None = None
+    observed_z: np.ndarray | None = None
+
+
+class BOLoop:
+    """Iterate: acquire batch → observe → update → check convergence.
+
+    Parameters
+    ----------
+    adapter:
+        Surrogate stack (outcome GPs composed with the preference GP).
+    observe:
+        ``observe(x_batch) -> observations`` — runs the real system;
+        whatever it returns is passed to ``adapter.update`` and must
+        also be convertible to benefit values via ``benefit_of``.
+    benefit_of:
+        ``benefit_of(observations) -> (b,) array`` of benefit values z
+        (Algorithm 2 line 17 computes z = ĝ(y) because the true
+        benefit is never observable).
+    candidates:
+        ``candidates(rng) -> (n, d)`` pool for the acquisition search.
+    acquisition:
+        Batch acquisition (default qNEI).
+    batch_size:
+        b — candidates recommended per iteration.
+    delta:
+        Convergence threshold δ on the change of the iteration-best z.
+    max_iters:
+        Hard iteration cap (MaxIterNum).
+    """
+
+    def __init__(
+        self,
+        adapter: SurrogateAdapter,
+        observe: Callable[[np.ndarray], object],
+        benefit_of: Callable[[object], np.ndarray],
+        candidates: Callable[[np.random.Generator], np.ndarray],
+        *,
+        acquisition: AcquisitionFunction | None = None,
+        batch_size: int = 4,
+        delta: float = 0.02,
+        max_iters: int = 20,
+        rng: RngLike = None,
+    ) -> None:
+        self.adapter = adapter
+        self.observe = observe
+        self.benefit_of = benefit_of
+        self.candidates = candidates
+        self.acquisition = acquisition or QNEI()
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        self.batch_size = int(batch_size)
+        self.delta = check_positive("delta", delta)
+        if max_iters < 1:
+            raise ValueError(f"max_iters must be >= 1, got {max_iters}")
+        self.max_iters = int(max_iters)
+        self._rng = as_generator(rng)
+
+    def run(
+        self,
+        *,
+        initial_x: np.ndarray | None = None,
+        initial_z: np.ndarray | None = None,
+    ) -> BOResult:
+        """Run to convergence; optional warm-start observations."""
+        observed_x = (
+            np.atleast_2d(np.asarray(initial_x, dtype=float))
+            if initial_x is not None and len(initial_x) > 0
+            else None
+        )
+        observed_z = (
+            np.asarray(initial_z, dtype=float)
+            if initial_z is not None and len(initial_z) > 0
+            else None
+        )
+        if (observed_x is None) != (observed_z is None):
+            raise ValueError("initial_x and initial_z must be given together")
+        if observed_x is not None and observed_x.shape[0] != observed_z.shape[0]:
+            raise ValueError("initial_x and initial_z lengths differ")
+
+        history: list[float] = []
+        z_prev: float | None = None
+        converged = False
+        n_iter = 0
+
+        for n_iter in range(1, self.max_iters + 1):
+            pool = np.atleast_2d(self.candidates(self._rng))
+            idx = self.acquisition.select_batch(
+                self.adapter.sample_benefit,
+                pool,
+                min(self.batch_size, pool.shape[0]),
+                observed_x=observed_x,
+                observed_z=observed_z,
+                rng=self._rng,
+            )
+            x_batch = pool[idx]
+            obs = self.observe(x_batch)
+            z_batch = np.asarray(self.benefit_of(obs), dtype=float)
+            if z_batch.shape[0] != x_batch.shape[0]:
+                raise ValueError(
+                    f"benefit_of returned {z_batch.shape[0]} values for "
+                    f"{x_batch.shape[0]} configurations"
+                )
+            self.adapter.update(x_batch, obs)
+
+            observed_x = (
+                x_batch if observed_x is None else np.vstack([observed_x, x_batch])
+            )
+            observed_z = (
+                z_batch if observed_z is None else np.concatenate([observed_z, z_batch])
+            )
+
+            z_best = float(np.max(z_batch))
+            history.append(z_best)
+            if z_prev is not None and abs(z_best - z_prev) < self.delta:
+                converged = True
+                break
+            z_prev = z_best
+
+        assert observed_x is not None and observed_z is not None
+        best = int(np.argmax(observed_z))
+        return BOResult(
+            best_x=observed_x[best].copy(),
+            best_z=float(observed_z[best]),
+            n_iterations=n_iter,
+            converged=converged,
+            history_z=history,
+            observed_x=observed_x,
+            observed_z=observed_z,
+        )

@@ -1,0 +1,306 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Three commands:
+
+* ``optimize`` — build an EVA problem and run a scheduler on it,
+  printing the per-stream decision and outcome;
+* ``figure`` — regenerate one of the paper's figures (2, 3, 4, 6, 7,
+  8, 9, 10a, 10b) and print its table;
+* ``info`` — version and module inventory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+import numpy as np
+
+from repro._version import __version__
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    from repro.outcomes.functions import OBJECTIVES
+
+    print(f"repro {__version__} — PaMO reproduction (ICPP '24)")
+    print(f"objectives: {', '.join(OBJECTIVES)}")
+    print("schedulers: PaMO, PaMO+, JCAB, FACT, WeightedSum, RandomSearch")
+    print("figures: 2, 3, 4, 6, 7, 8, 9, 10a, 10b")
+    return 0
+
+
+def _cmd_optimize(args: argparse.Namespace) -> int:
+    from repro.baselines import FACT, JCAB, RandomSearch, WeightedSumScheduler
+    from repro.bench.reporting import format_table
+    from repro.core import EVAProblem, PaMO, PaMOPlus, make_preference
+    from repro.pref import DecisionMaker
+    from repro.utils import as_generator
+
+    gen = as_generator(args.seed)
+    if args.bandwidths:
+        bw = [float(b) for b in args.bandwidths.split(",")]
+        if len(bw) != args.servers:
+            print(
+                f"error: --bandwidths gives {len(bw)} values for "
+                f"{args.servers} servers",
+                file=sys.stderr,
+            )
+            return 2
+    else:
+        bw = gen.choice([5.0, 10.0, 15.0, 20.0, 25.0, 30.0], args.servers).tolist()
+    problem = EVAProblem(n_streams=args.streams, bandwidths_mbps=bw)
+
+    weights = (
+        [float(w) for w in args.weights.split(",")] if args.weights else None
+    )
+    pref = make_preference(problem, weights=weights)
+
+    method = args.method.lower()
+    if method == "pamo":
+        out = PaMO(problem, DecisionMaker(pref, rng=args.seed), rng=args.seed).optimize()
+    elif method == "pamo+":
+        out = PaMOPlus(
+            problem, DecisionMaker(pref, rng=args.seed), rng=args.seed
+        ).optimize()
+    elif method == "jcab":
+        out = JCAB(problem, rng=args.seed).optimize()
+    elif method == "fact":
+        out = FACT(problem).optimize()
+    elif method == "weighted":
+        out = WeightedSumScheduler(problem, "equal", rng=args.seed).optimize()
+    elif method == "random":
+        out = RandomSearch(problem, pref.value, n_samples=100, rng=args.seed).optimize()
+    else:
+        print(f"error: unknown method {args.method!r}", file=sys.stderr)
+        return 2
+
+    d = out.decision
+    print(f"method: {d.method}   servers: {np.round(bw, 1).tolist()} Mbps")
+    print(
+        format_table(
+            ["stream", "resolution", "fps", "server"],
+            [
+                [i, int(d.resolutions[i]), d.fps[i], d.assignment[i] if i < len(d.assignment) else "-"]
+                for i in range(d.n_streams)
+            ],
+        )
+    )
+    names = ("latency_s", "mAP", "Mbps", "TFLOPs", "W")
+    print("outcome:", {n: round(float(v), 4) for n, v in zip(names, d.outcome)})
+    print(f"true benefit: {float(pref.value(d.outcome)):.4f}")
+    return 0
+
+
+_FIGURES = {
+    "2": "fig2",
+    "3": "fig3",
+    "4": "fig4",
+    "6": "fig6",
+    "7": "fig7",
+    "8": "fig8",
+    "9": "fig9",
+    "10a": "fig10a",
+    "10b": "fig10b",
+}
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    from repro.bench import (
+        fig2_profiling_surfaces,
+        fig3a_contention,
+        fig3b_pareto,
+        fig4_jitter,
+        fig6_preference_sweep,
+        fig7_scaling,
+        fig8_outcome_r2,
+        fig9_preference_accuracy,
+        fig10a_weight_sensitivity,
+        fig10b_threshold_sensitivity,
+        format_series,
+        format_table,
+    )
+
+    fig = args.id
+    if fig not in _FIGURES:
+        print(
+            f"error: unknown figure {fig!r}; choose from {sorted(_FIGURES)}",
+            file=sys.stderr,
+        )
+        return 2
+    quick = args.quick
+    saved_data = None
+
+    if fig == "2":
+        data = fig2_profiling_surfaces(
+            resolutions=(400, 1200, 2000) if quick else (300, 600, 900, 1200, 1600, 2000),
+            fps_values=(2, 15, 30) if quick else (1, 5, 10, 15, 20, 25, 30),
+            n_frames=24 if quick else 45,
+        )
+        saved_data = data
+        clip = [k for k in data if k.startswith("mot")][0]
+        rows = [
+            [r] + list(np.round(data[clip]["accuracy"][i], 3))
+            for i, r in enumerate(data["resolutions"])
+        ]
+        print(
+            format_table(
+                ["res\\fps"] + [str(f) for f in data["fps_values"]],
+                rows,
+                title=f"Fig.2 mAP surface ({clip})",
+            )
+        )
+        from repro.bench import format_heatmap
+
+        for metric in ("accuracy", "network_mbps", "power_watts"):
+            print()
+            print(
+                format_heatmap(
+                    data[clip][metric],
+                    row_labels=[int(r) for r in data["resolutions"]],
+                    col_labels=[str(int(f)) for f in data["fps_values"]],
+                    title=f"{metric} (rows: resolution, cols: fps)",
+                )
+            )
+    elif fig == "3":
+        a = fig3a_contention()
+        print(
+            f"Fig.3a: queueing delay frame 1 = {a['video2_delays'][0]:.2f}s, "
+            f"last = {a['video2_delays'][-1]:.2f}s"
+        )
+        b = fig3b_pareto(n_decisions=20 if quick else 60)
+        print(f"Fig.3b: Pareto front size = {len(b['pareto_indices'])}")
+        saved_data = {"fig3a": a, "fig3b": b}
+    elif fig == "4":
+        d = fig4_jitter()
+        saved_data = d
+        print(
+            f"Fig.4: naive jitter = {d['bad_assignment_jitter'] * 1e3:.1f} ms, "
+            f"Algorithm 1 jitter = {d['algorithm1_jitter'] * 1e3:.4f} ms"
+        )
+    elif fig == "6":
+        recs = fig6_preference_sweep(
+            weight_values=(0.2, 3.2) if quick else (0.2, 0.4, 1.6, 3.2),
+            objectives=("acc",) if quick else ("ltc", "acc", "net", "com", "eng"),
+            n_streams=4 if quick else 8,
+            n_servers=3 if quick else 5,
+        )
+        saved_data = recs
+        rows = [
+            [f"w_{r['objective']}={r['weight']}"]
+            + [round(r["normalized"][m], 3) for m in ("JCAB", "FACT", "PaMO", "PaMO+")]
+            for r in recs
+        ]
+        print(format_table(["setting", "JCAB", "FACT", "PaMO", "PaMO+"], rows, title="Fig.6"))
+    elif fig == "7":
+        d = fig7_scaling(
+            node_counts=(5,) if quick else (5, 6, 7, 8, 9),
+            video_counts=(7,) if quick else (7, 8, 9, 10, 11),
+        )
+        saved_data = d
+        for key, label in (("by_nodes", "nodes"), ("by_videos", "videos")):
+            series = {
+                m: [r["normalized"][m] for r in d[key]]
+                for m in ("JCAB", "FACT", "PaMO", "PaMO+")
+            }
+            print(format_series(label, [r["setting"] for r in d[key]], series))
+    elif fig == "8":
+        d = fig8_outcome_r2(
+            train_sizes=(50, 150) if quick else (200, 300, 400, 500, 600),
+            n_reps=1 if quick else 3,
+        )
+        saved_data = d
+        print(format_series("train size", d["train_sizes"], d["r2"], title="Fig.8 R²"))
+    elif fig == "9":
+        d = fig9_preference_accuracy(
+            pair_counts=(3, 18) if quick else (3, 6, 9, 18, 27),
+            n_test_pairs=100 if quick else 500,
+            n_reps=1 if quick else 3,
+        )
+        saved_data = d
+        print(
+            format_series(
+                "pairs", d["pair_counts"], {"accuracy": d["accuracy"]}, title="Fig.9"
+            )
+        )
+    elif fig == "10a":
+        recs = fig10a_weight_sensitivity(
+            weight_values=(0.1, 1.0, 5.0) if quick else (0.05, 0.1, 0.2, 0.5, 0.8, 1.0, 2.0, 5.0),
+            configs=((3, 4),) if quick else ((5, 8), (6, 10)),
+        )
+        saved_data = recs
+        rows = [
+            [r["config"], r["weight"], round(r["JCAB"], 3), round(r["FACT"], 3),
+             round(r["PaMO"], 3), round(r["PaMO+"], 3)]
+            for r in recs
+        ]
+        print(format_table(["config", "w", "JCAB", "FACT", "PaMO", "PaMO+"], rows, title="Fig.10a"))
+    elif fig == "10b":
+        recs = fig10b_threshold_sensitivity(
+            deltas=(0.02, 0.2) if quick else (0.02, 0.04, 0.06, 0.08, 0.1, 0.2),
+            configs=((3, 4),) if quick else ((5, 8),),
+        )
+        saved_data = recs
+        rows = [
+            [r["config"], r["delta"], round(r["JCAB"], 3), round(r["FACT"], 3),
+             round(r["PaMO"], 3), round(r["PaMO+"], 3)]
+            for r in recs
+        ]
+        print(format_table(["config", "delta", "JCAB", "FACT", "PaMO", "PaMO+"], rows, title="Fig.10b"))
+    if getattr(args, "output", "") and saved_data is not None:
+        from repro.bench import save_results
+
+        path = save_results(saved_data, args.output)
+        print(f"results written to {path}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse tree for `python -m repro`."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PaMO reproduction: preference-aware EVA scheduling",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_info = sub.add_parser("info", help="package inventory")
+    p_info.set_defaults(func=_cmd_info)
+
+    p_opt = sub.add_parser("optimize", help="schedule streams onto servers")
+    p_opt.add_argument("--streams", type=int, default=6)
+    p_opt.add_argument("--servers", type=int, default=4)
+    p_opt.add_argument(
+        "--bandwidths", type=str, default="", help="comma list of Mbps per server"
+    )
+    p_opt.add_argument(
+        "--weights", type=str, default="", help="comma list: ltc,acc,net,com,eng"
+    )
+    p_opt.add_argument(
+        "--method",
+        type=str,
+        default="pamo",
+        help="pamo | pamo+ | jcab | fact | weighted | random",
+    )
+    p_opt.add_argument("--seed", type=int, default=0)
+    p_opt.set_defaults(func=_cmd_optimize)
+
+    p_fig = sub.add_parser("figure", help="regenerate a paper figure")
+    p_fig.add_argument("id", type=str, help="2|3|4|6|7|8|9|10a|10b")
+    p_fig.add_argument("--quick", action="store_true", help="reduced sizes")
+    p_fig.add_argument(
+        "--output", type=str, default="", help="write results JSON to this path"
+    )
+    p_fig.set_defaults(func=_cmd_figure)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,118 @@
+"""System-benefit machinery: utopia vectors, Eq. 13, normalization.
+
+The paper's benefit metric needs three ingredients computed from the
+problem instance:
+
+* the **utopia vector** y* — per-objective single-objective optima
+  (unattainable jointly, §5.1);
+* **normalization bounds** per objective (outcome ranges over the
+  decision space), so benefits are computed on ŷ ∈ [0, 1];
+* the **normalized benefit** of footnote 2, mapping raw Eq.-13 values
+  onto [0, 1] against PaMO+'s benefit (as max) and −½Σw (as min).
+  (The footnote's formula as printed has an inverted sign — it would
+  assign PaMO+ a score of 0; we use the clearly intended orientation.)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.problem import EVAProblem
+from repro.outcomes.functions import OBJECTIVES
+from repro.pref.decision_maker import LinearL1Preference
+from repro.utils import check_array_1d
+
+#: objectives where lower raw values are better
+LOWER_IS_BETTER = np.array([True, False, True, True, True])  # ltc, acc, net, com, eng
+
+
+def _corner_outcomes(problem: EVAProblem) -> np.ndarray:
+    """Outcome vectors at the extreme uniform configurations.
+
+    All outcome functions are monotone in (r, s) per stream, so the
+    all-min and all-max knob decisions bound every objective.
+    """
+    space = problem.config_space
+    m = problem.n_streams
+    lo_dec = (
+        np.full(m, min(space.resolutions)),
+        np.full(m, min(space.fps_values)),
+    )
+    hi_dec = (
+        np.full(m, max(space.resolutions)),
+        np.full(m, max(space.fps_values)),
+    )
+    return np.stack([problem.evaluate(*lo_dec), problem.evaluate(*hi_dec)])
+
+
+def compute_bounds(problem: EVAProblem) -> tuple[np.ndarray, np.ndarray]:
+    """(lo, hi) per-objective outcome ranges over the decision space."""
+    corners = _corner_outcomes(problem)
+    return corners.min(axis=0), corners.max(axis=0)
+
+
+def compute_utopia(problem: EVAProblem) -> np.ndarray:
+    """Utopia vector y*: each objective at its single-objective best.
+
+    Latency/network/computation/energy take their minimum (achieved at
+    the lowest configuration); accuracy takes its maximum (highest
+    configuration).  This mirrors §5.1's "best outcomes obtained by
+    single-objective optimization".
+    """
+    lo, hi = compute_bounds(problem)
+    return np.where(LOWER_IS_BETTER, lo, hi)
+
+
+def make_preference(
+    problem: EVAProblem,
+    weights=None,
+) -> LinearL1Preference:
+    """Construct the Eq. 13 ground-truth preference for a problem."""
+    k = len(OBJECTIVES)
+    if weights is None:
+        weights = np.ones(k)
+    weights = check_array_1d("weights", weights, min_len=k)
+    lo, hi = compute_bounds(problem)
+    return LinearL1Preference(
+        weights=weights,
+        utopia=compute_utopia(problem),
+        lo=lo,
+        hi=hi,
+    )
+
+
+def normalized_benefit(
+    u: float | np.ndarray,
+    u_max: float,
+    u_min: float,
+) -> np.ndarray:
+    """Footnote-2 normalized benefit on [0, 1].
+
+    ``u_max`` is the benefit of the PaMO+ solution, ``u_min`` is
+    −½ Σ w_i.  Values clip to [0, 1] so degenerate runs stay plottable.
+    """
+    u = np.asarray(u, dtype=float)
+    span = u_max - u_min
+    if span <= 0:
+        return np.ones_like(u)
+    return np.clip((u - u_min) / span, 0.0, 1.0)
+
+
+def benefit_ratio(
+    preference: LinearL1Preference, y: np.ndarray
+) -> np.ndarray:
+    """Per-objective benefit shares (the stacked shades of Fig. 6).
+
+    Objective i's contribution is w_i · (1 − |ŷ_i − ŷ*_i|) — how close
+    the solution gets to utopia on that axis, weight-scaled — and the
+    shares are normalized to sum to 1.
+    """
+    y = np.asarray(y, dtype=float)
+    yn = preference.normalize(y)
+    un = preference.normalize(preference.utopia)
+    closeness = preference.weights * (1.0 - np.abs(yn - un))
+    closeness = np.clip(closeness, 0.0, None)
+    total = closeness.sum(axis=-1, keepdims=True)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        out = np.where(total > 0, closeness / total, 1.0 / len(OBJECTIVES))
+    return out

@@ -1,0 +1,151 @@
+"""Online operation: periodic monitoring and re-optimization.
+
+§2.1: "The scheduler periodically collects performance and resource
+information ... According to these real-time data, the scheduler
+adjusts configuration and scheduling decisions."  This module wraps a
+PaMO (or any ``optimize()``-bearing scheduler) factory in that loop:
+
+* each epoch, the current decision runs on the simulator and the
+  observed outcome vector is compared to the expected one;
+* a drift detector flags sustained deviation (content change, link
+  degradation, server slowdown);
+* on drift, the scheduler is re-instantiated against the *current*
+  problem and a fresh decision deployed.
+
+The loop is substrate-agnostic: the "environment" is any callable
+mapping a decision to an observed outcome vector, so tests can inject
+arbitrary disturbances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.problem import EVAProblem
+from repro.core.result import ScheduleDecision
+from repro.outcomes.functions import OBJECTIVES
+from repro.utils import check_positive
+
+
+@dataclass
+class DriftDetector:
+    """Flags sustained relative deviation of observed vs expected outcomes.
+
+    Tracks, per epoch, the max relative deviation across objectives;
+    drift fires after ``patience`` consecutive epochs above
+    ``rel_threshold``.
+    """
+
+    rel_threshold: float = 0.25
+    patience: int = 2
+    _strikes: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        check_positive("rel_threshold", self.rel_threshold)
+        if self.patience < 1:
+            raise ValueError(f"patience must be >= 1, got {self.patience}")
+
+    def deviation(self, expected: np.ndarray, observed: np.ndarray) -> float:
+        """Max relative per-objective deviation of observed vs expected."""
+        expected = np.asarray(expected, dtype=float)
+        observed = np.asarray(observed, dtype=float)
+        denom = np.maximum(np.abs(expected), 1e-9)
+        return float(np.max(np.abs(observed - expected) / denom))
+
+    def update(self, expected: np.ndarray, observed: np.ndarray) -> bool:
+        """Feed one epoch's observation; returns True when drift fires."""
+        if self.deviation(expected, observed) > self.rel_threshold:
+            self._strikes += 1
+        else:
+            self._strikes = 0
+        if self._strikes >= self.patience:
+            self._strikes = 0
+            return True
+        return False
+
+    def reset(self) -> None:
+        """Clear accumulated strikes (after a redeploy)."""
+        self._strikes = 0
+
+
+@dataclass
+class EpochRecord:
+    """One monitoring epoch."""
+
+    epoch: int
+    expected: np.ndarray
+    observed: np.ndarray
+    deviation: float
+    reoptimized: bool
+
+
+class OnlineScheduler:
+    """Monitor → detect drift → re-optimize loop.
+
+    Parameters
+    ----------
+    problem:
+        The (current) EVA problem.
+    make_scheduler:
+        ``make_scheduler(problem, epoch) -> scheduler`` with an
+        ``optimize()`` returning an object whose ``.decision`` is a
+        :class:`ScheduleDecision` (PaMO, PaMOPlus, baselines...).
+    environment:
+        ``environment(decision, epoch) -> (5,) observed outcome``; the
+        real system.  Defaults to the problem's measured evaluation.
+    detector:
+        Drift detector instance.
+    """
+
+    def __init__(
+        self,
+        problem: EVAProblem,
+        make_scheduler: Callable[[EVAProblem, int], object],
+        *,
+        environment: Callable[[ScheduleDecision, int], np.ndarray] | None = None,
+        detector: DriftDetector | None = None,
+    ) -> None:
+        self.problem = problem
+        self.make_scheduler = make_scheduler
+        self.environment = environment or self._default_environment
+        self.detector = detector or DriftDetector()
+        self.decision: ScheduleDecision | None = None
+        self.history: list[EpochRecord] = []
+        self.n_reoptimizations = 0
+
+    def _default_environment(self, decision: ScheduleDecision, epoch: int) -> np.ndarray:
+        return self.problem.evaluate_measured(decision.resolutions, decision.fps)
+
+    def _deploy(self, epoch: int) -> None:
+        scheduler = self.make_scheduler(self.problem, epoch)
+        self.decision = scheduler.optimize().decision
+        self.detector.reset()
+
+    def run(self, n_epochs: int) -> list[EpochRecord]:
+        """Run the monitoring loop for ``n_epochs``; returns the log."""
+        if n_epochs < 1:
+            raise ValueError(f"n_epochs must be >= 1, got {n_epochs}")
+        if self.decision is None:
+            self._deploy(epoch=0)
+        assert self.decision is not None
+        for epoch in range(n_epochs):
+            expected = self.decision.outcome
+            observed = self.environment(self.decision, epoch)
+            dev = self.detector.deviation(expected, observed)
+            drifted = self.detector.update(expected, observed)
+            if drifted:
+                self.n_reoptimizations += 1
+                self._deploy(epoch)
+            self.history.append(
+                EpochRecord(
+                    epoch=epoch,
+                    expected=np.asarray(expected, dtype=float),
+                    observed=np.asarray(observed, dtype=float),
+                    deviation=dev,
+                    reoptimized=drifted,
+                )
+            )
+        return self.history

@@ -1,0 +1,47 @@
+"""Decision and optimization result containers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class ScheduleDecision:
+    """A complete scheduling decision plus its evaluated outcome.
+
+    ``assignment``/``split_streams`` describe the Algorithm-1 schedule
+    of the (possibly split) stream set; ``outcome`` is the five-vector
+    [ltc, acc, net, com, eng]; ``benefit`` is whatever benefit function
+    scored it (true preference for PaMO+/baselines, learned ĝ for PaMO).
+    """
+
+    resolutions: np.ndarray
+    fps: np.ndarray
+    assignment: list[int]
+    outcome: np.ndarray
+    benefit: float
+    method: str = ""
+
+    def __post_init__(self) -> None:
+        self.resolutions = np.asarray(self.resolutions, dtype=float)
+        self.fps = np.asarray(self.fps, dtype=float)
+        self.outcome = np.asarray(self.outcome, dtype=float)
+
+    @property
+    def n_streams(self) -> int:
+        return self.resolutions.size
+
+
+@dataclass
+class OptimizationOutcome:
+    """Full record of one optimizer run."""
+
+    decision: ScheduleDecision
+    true_benefit: float | None = None
+    n_iterations: int = 0
+    converged: bool = False
+    history: list[float] = field(default_factory=list)
+    n_dm_queries: int = 0
+    extras: dict = field(default_factory=dict)

@@ -1,0 +1,86 @@
+"""Vectorized axis-aligned bounding-box operations.
+
+Boxes use ``(x1, y1, x2, y2)`` corner format in pixels, stored as float
+arrays of shape ``(n, 4)``.  All pairwise operations are fully broadcast —
+no Python loops — per the HPC guide's vectorization idiom.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Box:
+    """A single box; convenience wrapper around the array format."""
+
+    x1: float
+    y1: float
+    x2: float
+    y2: float
+
+    def __post_init__(self) -> None:
+        if self.x2 < self.x1 or self.y2 < self.y1:
+            raise ValueError(f"degenerate box: {self}")
+
+    def as_array(self) -> np.ndarray:
+        """(4,) array in (x1, y1, x2, y2) order."""
+        return np.array([self.x1, self.y1, self.x2, self.y2], dtype=float)
+
+    @property
+    def area(self) -> float:
+        return (self.x2 - self.x1) * (self.y2 - self.y1)
+
+    @property
+    def center(self) -> tuple[float, float]:
+        return ((self.x1 + self.x2) / 2.0, (self.y1 + self.y2) / 2.0)
+
+
+def _as_boxes(arr) -> np.ndarray:
+    a = np.asarray(arr, dtype=float)
+    if a.size == 0:
+        return a.reshape(0, 4)
+    if a.ndim == 1:
+        a = a.reshape(1, 4)
+    if a.ndim != 2 or a.shape[1] != 4:
+        raise ValueError(f"boxes must have shape (n, 4), got {a.shape}")
+    return a
+
+
+def box_area(boxes) -> np.ndarray:
+    """Areas of ``(n, 4)`` boxes; degenerate boxes clamp to zero area."""
+    b = _as_boxes(boxes)
+    w = np.clip(b[:, 2] - b[:, 0], 0.0, None)
+    h = np.clip(b[:, 3] - b[:, 1], 0.0, None)
+    return w * h
+
+
+def clip_boxes(boxes, width: float, height: float) -> np.ndarray:
+    """Clip boxes to the frame rectangle [0, width] x [0, height]."""
+    b = _as_boxes(boxes).copy()
+    b[:, [0, 2]] = np.clip(b[:, [0, 2]], 0.0, float(width))
+    b[:, [1, 3]] = np.clip(b[:, [1, 3]], 0.0, float(height))
+    return b
+
+
+def iou_matrix(boxes_a, boxes_b) -> np.ndarray:
+    """Pairwise intersection-over-union, shape ``(len(a), len(b))``.
+
+    Runs in one broadcast pass: intersection corners via ``maximum`` /
+    ``minimum`` on expanded axes, then the standard IoU ratio with a zero
+    guard for empty unions.
+    """
+    a = _as_boxes(boxes_a)
+    b = _as_boxes(boxes_b)
+    if a.shape[0] == 0 or b.shape[0] == 0:
+        return np.zeros((a.shape[0], b.shape[0]))
+    lt = np.maximum(a[:, None, :2], b[None, :, :2])  # (na, nb, 2)
+    rb = np.minimum(a[:, None, 2:], b[None, :, 2:])
+    wh = np.clip(rb - lt, 0.0, None)
+    inter = wh[..., 0] * wh[..., 1]
+    union = box_area(a)[:, None] + box_area(b)[None, :] - inter
+    with np.errstate(divide="ignore", invalid="ignore"):
+        iou = np.where(union > 0, inter / union, 0.0)
+    return iou

@@ -1,0 +1,214 @@
+"""A simulated object detector with resolution-dependent error modes.
+
+The real system runs YOLOv8; here detection quality must *emerge* from the
+video configuration the scheduler controls, the way it does for a real
+DNN:
+
+* **Resolution** — after downscaling a frame to width ``r``, an object's
+  apparent area shrinks quadratically.  Detection probability follows a
+  logistic curve in log apparent-area (small objects vanish first), and
+  localization noise grows as the object covers fewer pixels.
+* **Frame sampling rate** — frames that are not sampled reuse the last
+  detection (the standard tracking-by-detection fallback).  Objects move
+  between frames, so held boxes drift away from the ground truth and IoU
+  decays with the sampling period — which is exactly why mAP in Fig. 2 of
+  the paper falls with FPS.
+* **False positives** — Poisson background clutter with low confidence.
+
+The detector never sees ground truth directly at inference time beyond
+what a perception system would: it perturbs, drops, and hallucinates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.utils import as_generator, check_in_range, check_positive
+from repro.utils.rng import RngLike
+from repro.detection.boxes import clip_boxes
+
+
+@dataclass(frozen=True)
+class DetectorModel:
+    """Static quality parameters of the simulated detector.
+
+    Parameters
+    ----------
+    reference_width:
+        Native capture width in pixels; resolutions are interpreted
+        relative to it when scaling apparent object sizes.
+    area50:
+        Apparent box area (px^2, at detection resolution) at which the
+        detection probability is 50%.
+    area_slope:
+        Logistic slope in log-area units; larger = sharper size cut-off.
+    max_recall:
+        Detection probability ceiling for huge objects (model capacity).
+    loc_noise:
+        Localization jitter as a fraction of box size at the reference
+        resolution; scales with 1/sqrt(apparent area ratio).
+    fp_rate:
+        Expected false positives per processed frame.
+    score_noise:
+        Std of Gaussian noise on confidence scores.
+    """
+
+    reference_width: float = 1920.0
+    area50: float = 220.0
+    area_slope: float = 1.35
+    max_recall: float = 0.97
+    loc_noise: float = 0.06
+    fp_rate: float = 0.35
+    score_noise: float = 0.08
+
+    def __post_init__(self) -> None:
+        check_positive("reference_width", self.reference_width)
+        check_positive("area50", self.area50)
+        check_positive("area_slope", self.area_slope)
+        check_in_range("max_recall", self.max_recall, 0.0, 1.0)
+        check_positive("loc_noise", self.loc_noise, strict=False)
+        check_positive("fp_rate", self.fp_rate, strict=False)
+        check_positive("score_noise", self.score_noise, strict=False)
+
+    def detection_probability(self, apparent_area: np.ndarray) -> np.ndarray:
+        """Logistic recall curve in log apparent-area."""
+        area = np.clip(np.asarray(apparent_area, dtype=float), 1e-9, None)
+        z = self.area_slope * (np.log(area) - np.log(self.area50))
+        return self.max_recall / (1.0 + np.exp(-z))
+
+
+@dataclass
+class Detection:
+    """Scored detections for a single frame."""
+
+    boxes: np.ndarray  # (d, 4) in *reference* pixel coordinates
+    scores: np.ndarray  # (d,)
+    frame_index: int
+    processed: bool  # True if inferred on this frame; False if held over
+
+    def __post_init__(self) -> None:
+        self.boxes = np.asarray(self.boxes, dtype=float).reshape(-1, 4)
+        self.scores = np.asarray(self.scores, dtype=float).reshape(-1)
+
+
+class SimulatedDetector:
+    """Runs the detector model over a clip at a given configuration.
+
+    The clip supplies per-frame ground-truth boxes in reference-resolution
+    coordinates (see :mod:`repro.video.synthetic`).  ``detect_clip``
+    samples frames at rate ``fps`` out of the clip's native rate, infers
+    on sampled frames at resolution ``width``, and holds detections on
+    skipped frames.
+    """
+
+    def __init__(self, model: DetectorModel | None = None, *, rng: RngLike = None):
+        self.model = model or DetectorModel()
+        self._rng = as_generator(rng)
+
+    def infer_frame(
+        self,
+        gt_boxes: np.ndarray,
+        width: float,
+        *,
+        frame_index: int = 0,
+        frame_height: float | None = None,
+    ) -> Detection:
+        """Simulate inference on one frame downscaled to width ``width``."""
+        m = self.model
+        check_positive("width", width)
+        gt = np.asarray(gt_boxes, dtype=float).reshape(-1, 4)
+        scale = float(width) / m.reference_width
+        fh = frame_height if frame_height is not None else m.reference_width * 9.0 / 16.0
+
+        if gt.shape[0] > 0:
+            w = gt[:, 2] - gt[:, 0]
+            h = gt[:, 3] - gt[:, 1]
+            apparent_area = (w * scale) * (h * scale)
+            p_det = self.model.detection_probability(apparent_area)
+            detected = self._rng.random(gt.shape[0]) < p_det
+            kept = gt[detected]
+            if kept.shape[0] > 0:
+                kw = kept[:, 2] - kept[:, 0]
+                kh = kept[:, 3] - kept[:, 1]
+                # Localization noise grows as apparent pixels shrink.
+                noise_frac = m.loc_noise / np.sqrt(np.maximum(scale, 1e-6))
+                jitter = self._rng.normal(
+                    0.0, 1.0, size=(kept.shape[0], 4)
+                ) * (noise_frac * np.stack([kw, kh, kw, kh], axis=1))
+                kept = kept + jitter
+                # Repair inverted corners produced by extreme jitter.
+                x1 = np.minimum(kept[:, 0], kept[:, 2])
+                x2 = np.maximum(kept[:, 0], kept[:, 2])
+                y1 = np.minimum(kept[:, 1], kept[:, 3])
+                y2 = np.maximum(kept[:, 1], kept[:, 3])
+                kept = np.stack([x1, y1, x2, y2], axis=1)
+                scores = np.clip(
+                    p_det[detected] + self._rng.normal(0, m.score_noise, kept.shape[0]),
+                    0.01,
+                    0.999,
+                )
+            else:
+                scores = np.zeros(0)
+        else:
+            kept = np.zeros((0, 4))
+            scores = np.zeros(0)
+
+        n_fp = int(self._rng.poisson(m.fp_rate))
+        if n_fp > 0:
+            cx = self._rng.uniform(0, m.reference_width, n_fp)
+            cy = self._rng.uniform(0, fh, n_fp)
+            bw = self._rng.uniform(20, 140, n_fp)
+            bh = self._rng.uniform(20, 140, n_fp)
+            fp_boxes = np.stack([cx - bw / 2, cy - bh / 2, cx + bw / 2, cy + bh / 2], axis=1)
+            fp_scores = self._rng.uniform(0.05, 0.45, n_fp)
+            kept = np.vstack([kept, fp_boxes])
+            scores = np.concatenate([scores, fp_scores])
+
+        kept = clip_boxes(kept, m.reference_width, fh)
+        return Detection(boxes=kept, scores=scores, frame_index=frame_index, processed=True)
+
+    def detect_clip(
+        self,
+        gt_frames: Sequence[np.ndarray],
+        width: float,
+        fps: float,
+        *,
+        native_fps: float = 30.0,
+        frame_height: float | None = None,
+    ) -> list[Detection]:
+        """Sample-and-hold detection over a whole clip.
+
+        ``gt_frames[i]`` is the ground truth of native frame ``i``.  A
+        frame is *processed* when the accumulated sampling phase crosses
+        1; otherwise the previous detection is reused (``processed=False``),
+        which is where low-FPS accuracy loss comes from.
+        """
+        check_positive("fps", fps)
+        check_positive("native_fps", native_fps)
+        if fps > native_fps:
+            fps = native_fps
+        results: list[Detection] = []
+        phase = 1.0  # force processing of frame 0
+        last: Detection | None = None
+        step = fps / native_fps
+        for i, gt in enumerate(gt_frames):
+            phase += step
+            if phase >= 1.0 or last is None:
+                phase -= 1.0
+                last = self.infer_frame(
+                    gt, width, frame_index=i, frame_height=frame_height
+                )
+                results.append(last)
+            else:
+                results.append(
+                    Detection(
+                        boxes=last.boxes.copy(),
+                        scores=last.scores.copy(),
+                        frame_index=i,
+                        processed=False,
+                    )
+                )
+        return results

@@ -1,0 +1,55 @@
+"""Scalarization rules turning outcome vectors into single objectives.
+
+All functions assume *minimization* orientation (use
+:func:`repro.baselines.search.orient_minimize` for canonical outcome
+vectors where accuracy is maximized) and broadcast over leading axes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils import check_array_1d
+
+
+def _prep(y, weights) -> tuple[np.ndarray, np.ndarray]:
+    y = np.asarray(y, dtype=float)
+    w = check_array_1d("weights", weights, min_len=1)
+    if y.shape[-1] != w.size:
+        raise ValueError(f"outcome dim {y.shape[-1]} != weight dim {w.size}")
+    if np.any(w < 0):
+        raise ValueError("weights must be non-negative")
+    return y, w
+
+
+def weighted_sum(y, weights) -> np.ndarray:
+    """Σ w_i y_i — the classical (and §1-criticized) linear scalarization."""
+    y, w = _prep(y, weights)
+    return (y * w).sum(axis=-1)
+
+
+def weighted_chebyshev(y, weights, *, reference=None) -> np.ndarray:
+    """max_i w_i |y_i − z_i| with reference point z (default 0).
+
+    Unlike the weighted sum, Chebyshev scalarization can reach any
+    Pareto-optimal point, including non-convex regions of the front.
+    """
+    y, w = _prep(y, weights)
+    z = np.zeros(w.size) if reference is None else check_array_1d(
+        "reference", reference, min_len=w.size
+    )
+    return (w * np.abs(y - z)).max(axis=-1)
+
+
+def achievement(y, weights, *, reference=None, rho: float = 1e-4) -> np.ndarray:
+    """Wierzbicki achievement scalarizing function.
+
+    Chebyshev term plus a small augmentation ρ·Σ w_i(y_i − z_i) that
+    breaks ties between weakly and properly Pareto-optimal points.
+    """
+    y, w = _prep(y, weights)
+    z = np.zeros(w.size) if reference is None else check_array_1d(
+        "reference", reference, min_len=w.size
+    )
+    diff = w * (y - z)
+    return diff.max(axis=-1) + rho * diff.sum(axis=-1)

@@ -1,0 +1,163 @@
+"""Profiling harness: measure outcome vectors from the real substrate.
+
+This is the "profiling" of Algorithm 2 lines 2–3 and the data source of
+Figure 2: run a clip through the simulated detector at a configuration
+(r, s), compute *actual* mAP against ground truth, and read latency /
+bandwidth / computation / power from the device profile, encoder, and
+(optionally) the discrete-event simulator.  Measurement noise arises
+naturally from the stochastic detector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.detection.detector import DetectorModel, SimulatedDetector
+from repro.detection.evaluate import FrameResult, mean_average_precision
+from repro.outcomes.functions import GAMMA_J_PER_BIT
+from repro.utils import as_generator, check_positive
+from repro.utils.rng import RngLike
+from repro.video.encoder import EncoderModel
+from repro.video.profiles import DeviceProfile, JETSON_NX_PROFILE
+from repro.video.synthetic import SyntheticClip
+
+
+@dataclass(frozen=True)
+class OutcomeSample:
+    """One measured (configuration → outcome) record."""
+
+    resolution: float
+    fps: float
+    latency: float  # s (compute + transmission at the probe bandwidth)
+    accuracy: float  # mAP in [0, 1]
+    network_mbps: float
+    computation_tflops: float
+    power_watts: float
+
+    def vector(self) -> np.ndarray:
+        """[ltc, acc, net, com, eng] in the canonical order."""
+        return np.array(
+            [
+                self.latency,
+                self.accuracy,
+                self.network_mbps,
+                self.computation_tflops,
+                self.power_watts,
+            ]
+        )
+
+
+def profile_configuration(
+    clip: SyntheticClip,
+    resolution: float,
+    fps: float,
+    *,
+    bandwidth_mbps: float = 100.0,
+    profile: DeviceProfile = JETSON_NX_PROFILE,
+    encoder: EncoderModel | None = None,
+    detector_model: DetectorModel | None = None,
+    measurement_noise: float = 0.0,
+    rng: RngLike = None,
+) -> OutcomeSample:
+    """Measure the outcome vector of one stream at one configuration.
+
+    Accuracy is genuine: the simulated detector runs sample-and-hold
+    over the clip's ground truth and mAP is computed by the evaluation
+    pipeline.  The experiment mirrors Fig. 2 (bandwidth fixed at
+    100 Mbps by default, as in the paper's profiling experiment).
+
+    ``measurement_noise`` applies relative Gaussian noise to the
+    latency/bandwidth/computation/power readings — on a physical
+    testbed these come from timers and power meters under thermal and
+    contention variation, which is what makes the paper's Fig. 8 R²
+    *grow* with training-set size instead of starting at 1.
+    """
+    check_positive("resolution", resolution)
+    check_positive("fps", fps)
+    check_positive("bandwidth_mbps", bandwidth_mbps)
+    check_positive("measurement_noise", measurement_noise, strict=False)
+    enc = encoder or EncoderModel()
+    gen = as_generator(rng)
+    det = SimulatedDetector(detector_model, rng=gen)
+
+    dets = det.detect_clip(
+        clip.frames, resolution, fps, native_fps=clip.config.native_fps
+    )
+    frames = [
+        FrameResult(gt, d.boxes, d.scores) for gt, d in zip(clip.frames, dets)
+    ]
+    acc = mean_average_precision(frames)
+
+    texture = clip.config.texture
+    eff_fps = min(fps, clip.config.native_fps)
+    bits = enc.bits_per_frame(resolution, texture=texture)
+    latency = profile.processing_time(resolution) + bits / (bandwidth_mbps * 1e6)
+    net = enc.bitrate(resolution, eff_fps, texture=texture) / 1e6
+    com = profile.flops_per_frame(resolution) * eff_fps
+    power = (
+        GAMMA_J_PER_BIT * bits * eff_fps
+        + profile.energy_per_frame(resolution) * eff_fps
+    )
+    if measurement_noise > 0:
+        factors = gen.normal(1.0, measurement_noise, 4)
+        latency *= max(factors[0], 0.05)
+        net *= max(factors[1], 0.05)
+        com *= max(factors[2], 0.05)
+        power *= max(factors[3], 0.05)
+    return OutcomeSample(
+        resolution=float(resolution),
+        fps=float(fps),
+        latency=float(latency),
+        accuracy=float(acc),
+        network_mbps=float(net),
+        computation_tflops=float(com),
+        power_watts=float(power),
+    )
+
+
+def profile_grid(
+    clip: SyntheticClip,
+    resolutions: Sequence[float],
+    fps_values: Sequence[float],
+    *,
+    bandwidth_mbps: float = 100.0,
+    profile: DeviceProfile = JETSON_NX_PROFILE,
+    encoder: EncoderModel | None = None,
+    detector_model: DetectorModel | None = None,
+    measurement_noise: float = 0.0,
+    rng: RngLike = None,
+) -> list[OutcomeSample]:
+    """Profile the full (resolution × fps) grid — the Fig. 2 experiment.
+
+    Returns samples in row-major order (resolution outer, fps inner).
+    """
+    gen = as_generator(rng)
+    out: list[OutcomeSample] = []
+    for r in resolutions:
+        for s in fps_values:
+            out.append(
+                profile_configuration(
+                    clip,
+                    r,
+                    s,
+                    bandwidth_mbps=bandwidth_mbps,
+                    profile=profile,
+                    encoder=encoder,
+                    detector_model=detector_model,
+                    measurement_noise=measurement_noise,
+                    rng=gen,
+                )
+            )
+    return out
+
+
+def samples_to_arrays(
+    samples: Sequence[OutcomeSample],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Stack samples into (X, Y): X = (n, 2) of (r, s), Y = (n, 5)."""
+    x = np.array([[s.resolution, s.fps] for s in samples])
+    y = np.array([s.vector() for s in samples])
+    return x, y

@@ -1,0 +1,29 @@
+"""Preference-learning layer (§4.2 of the paper).
+
+The system's pricing preference g is unknown; PaMO learns it from
+pairwise comparisons answered by a decision maker.  This package
+provides the simulated decision maker (the true preference, Eq. 13 in
+the paper's own evaluation), the active-learning loop that selects
+informative comparison pairs with EUBO, and the pairwise accuracy
+metric of Fig. 9.
+"""
+
+from repro.pref.decision_maker import (
+    LinearL1Preference,
+    DecisionMaker,
+    TruePreference,
+)
+from repro.pref.learner import PreferenceLearner
+from repro.pref.metrics import pairwise_accuracy
+from repro.pref.pricing import TieredTariff, QoSRevenue, PricingPreference
+
+__all__ = [
+    "LinearL1Preference",
+    "DecisionMaker",
+    "TruePreference",
+    "PreferenceLearner",
+    "pairwise_accuracy",
+    "TieredTariff",
+    "QoSRevenue",
+    "PricingPreference",
+]

@@ -1,0 +1,53 @@
+"""Preference-model quality metrics (§5.3, Fig. 9)."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.utils import as_generator
+from repro.utils.rng import RngLike
+
+
+def pairwise_accuracy(
+    predict_utility: Callable[[np.ndarray], np.ndarray],
+    true_utility: Callable[[np.ndarray], np.ndarray],
+    test_pairs: Sequence[tuple[np.ndarray, np.ndarray]],
+) -> float:
+    """Fraction of test pairs ordered consistently with the truth.
+
+    The paper's §5.3 metric: for each pair, compare the sign of
+    (ẑ₁ − ẑ₂) with (z₁ − z₂); ties count as half (they are ambiguous
+    under the 'strictly consistent' definition).
+    """
+    if not test_pairs:
+        raise ValueError("test_pairs must be non-empty")
+    y1 = np.stack([p[0] for p in test_pairs])
+    y2 = np.stack([p[1] for p in test_pairs])
+    dz_hat = np.asarray(predict_utility(y1)) - np.asarray(predict_utility(y2))
+    dz = np.asarray(true_utility(y1)) - np.asarray(true_utility(y2))
+    consistent = np.sign(dz_hat) == np.sign(dz)
+    ties = (np.sign(dz_hat) == 0) | (np.sign(dz) == 0)
+    return float(np.mean(np.where(ties, 0.5, consistent.astype(float))))
+
+
+def sample_test_pairs(
+    outcome_space: np.ndarray,
+    n_pairs: int,
+    *,
+    rng: RngLike = None,
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Random distinct-item test pairs from an outcome space (n, k)."""
+    outcome_space = np.asarray(outcome_space, dtype=float)
+    if outcome_space.ndim != 2 or outcome_space.shape[0] < 2:
+        raise ValueError("outcome_space must be (n>=2, k)")
+    if n_pairs < 1:
+        raise ValueError(f"n_pairs must be >= 1, got {n_pairs}")
+    gen = as_generator(rng)
+    n = outcome_space.shape[0]
+    pairs = []
+    for _ in range(n_pairs):
+        i, j = gen.choice(n, 2, replace=False)
+        pairs.append((outcome_space[i], outcome_space[j]))
+    return pairs

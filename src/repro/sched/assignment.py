@@ -1,0 +1,89 @@
+"""Group→server assignment (Algorithm 1, line 20).
+
+Maps the logical groups produced by :func:`repro.sched.grouping.group_streams`
+onto physical servers so as to minimize total communication latency
+
+    min_q Σ_{G_j} Σ_{i ∈ G_j} θ_bit(r_i) / B_{q_j}
+
+which is a linear assignment problem (each group's cost on server n is
+its total bits divided by that server's uplink bandwidth), solved exactly
+with the Hungarian algorithm (``scipy.optimize.linear_sum_assignment``).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+from scipy.optimize import linear_sum_assignment
+
+from repro.sched.grouping import GroupingResult
+from repro.sched.streams import PeriodicStream
+from repro.utils import check_array_1d
+
+
+def communication_latency(
+    streams: Sequence[PeriodicStream], assignment: Sequence[int], bandwidths_mbps: Sequence[float]
+) -> float:
+    """Total per-frame serialization latency Σ θ_bit(r_i) / B_{q_i} (s)."""
+    bw = check_array_1d("bandwidths_mbps", bandwidths_mbps, min_len=1)
+    total = 0.0
+    for s, q in zip(streams, assignment):
+        if q == -1:
+            continue
+        if not (0 <= q < bw.size):
+            raise ValueError(f"assignment {q} out of range for {bw.size} servers")
+        total += s.bits_per_frame / (bw[q] * 1e6)
+    return total
+
+
+def assign_groups_to_servers(
+    grouping: GroupingResult,
+    bandwidths_mbps: Sequence[float],
+) -> list[int]:
+    """Hungarian mapping of groups to servers; returns per-stream q vector.
+
+    The returned list is indexed by *stream order in the grouping* —
+    callers should use :meth:`resolve_assignment` for an id-keyed view.
+    Cost of putting group j on server n is ``group_bits_per_second_j / B_n``
+    scaled so heavy groups land on fat uplinks.  Empty groups cost zero
+    everywhere and absorb the surplus servers.
+    """
+    bw = check_array_1d("bandwidths_mbps", bandwidths_mbps, min_len=1)
+    n_groups = len(grouping.groups)
+    if n_groups > bw.size:
+        raise ValueError(f"{n_groups} groups but only {bw.size} servers")
+
+    # Cost matrix (groups x servers). Use bits *per second* (bits/frame × fps)
+    # so the objective weighs frequently-sending streams more, matching the
+    # average-communication-latency objective over time.
+    group_rate = np.array(
+        [sum(s.bits_per_frame * s.fps for s in grp) for grp in grouping.groups]
+    )
+    cost = group_rate[:, None] / (bw[None, :] * 1e6)
+    row, col = linear_sum_assignment(cost)
+    server_of_group = dict(zip(row.tolist(), col.tolist()))
+
+    assignment: dict[int, int] = {}
+    for j, grp in enumerate(grouping.groups):
+        for s in grp:
+            assignment[s.stream_id] = server_of_group[j]
+    # Return q in the order streams appear in the grouping's flat list.
+    ordered_ids = [s.stream_id for grp in grouping.groups for s in grp]
+    return [assignment[i] for i in ordered_ids]
+
+
+def resolve_assignment(
+    grouping: GroupingResult,
+    bandwidths_mbps: Sequence[float],
+    streams: Sequence[PeriodicStream],
+) -> list[int]:
+    """Per-stream server vector aligned with the caller's ``streams`` order."""
+    bw = check_array_1d("bandwidths_mbps", bandwidths_mbps, min_len=1)
+    group_rate = np.array(
+        [sum(s.bits_per_frame * s.fps for s in grp) for grp in grouping.groups]
+    )
+    cost = group_rate[:, None] / (bw[None, :] * 1e6)
+    row, col = linear_sum_assignment(cost)
+    server_of_group = dict(zip(row.tolist(), col.tolist()))
+    return [server_of_group[grouping.group_of[s.stream_id]] for s in streams]

@@ -1,0 +1,135 @@
+"""Algorithm 1: group-based heuristic zero-jitter grouping.
+
+Implements the paper's Algorithm 1 lines 1–19:
+
+1. sort streams by period ascending;
+2. compute each stream's priority ``I_i = Σ_{j<i} 1(T_i mod T_j == 0)``
+   (how many earlier, shorter periods divide it — streams that are easy
+   to co-schedule get high counts);
+3. re-sort ascending by priority (stable, so period order breaks ties);
+4. greedily place each stream into the first of N groups where the
+   Theorem-3 conditions still hold after insertion: all periods remain
+   integer multiples of the group minimum, and total processing time
+   stays within that minimum.
+
+Feasible groupings satisfy Const2 (hence Const1 and zero jitter).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Sequence
+
+from repro.sched.streams import PeriodicStream
+from repro.sched.theory import theorem3_conditions
+
+#: Slack for float capacity comparisons.
+_EPS = 1e-9
+
+
+class InfeasibleScheduleError(RuntimeError):
+    """Raised when no grouping satisfying Const2 exists for N servers."""
+
+
+@dataclass
+class GroupingResult:
+    """Outcome of Algorithm 1's grouping phase.
+
+    ``groups[j]`` lists the streams co-scheduled on (logical) group j;
+    ``group_of[stream_id]`` inverts the mapping.  Logical groups are
+    mapped to physical servers afterwards by the assignment step.
+    """
+
+    groups: list[list[PeriodicStream]]
+    group_of: dict[int, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.group_of:
+            self.group_of = {
+                s.stream_id: j for j, grp in enumerate(self.groups) for s in grp
+            }
+
+    @property
+    def n_nonempty(self) -> int:
+        return sum(1 for g in self.groups if g)
+
+    def validate(self) -> bool:
+        """Check the Theorem-3 invariant on every group."""
+        return all(theorem3_conditions(g) for g in self.groups)
+
+
+def divisor_priorities(streams: Sequence[PeriodicStream]) -> list[int]:
+    """Priorities I_i over period-sorted streams (Algorithm 1, line 2).
+
+    Uses exact rational arithmetic: T_i mod T_j == 0 iff T_i / T_j is an
+    integer.  Input must already be sorted by period ascending.
+    """
+    periods = [Fraction(s.period).limit_denominator(1_000_000) for s in streams]
+    out: list[int] = []
+    for i, ti in enumerate(periods):
+        count = 0
+        for tj in periods[:i]:
+            if (ti / tj).denominator == 1:
+                count += 1
+        out.append(count)
+    return out
+
+
+def _fits(group: list[PeriodicStream], candidate: PeriodicStream) -> bool:
+    """Would the group still satisfy Theorem 3 with ``candidate`` added?"""
+    return theorem3_conditions([*group, candidate])
+
+
+def group_streams(
+    streams: Sequence[PeriodicStream],
+    n_servers: int,
+    *,
+    strict: bool = True,
+) -> GroupingResult:
+    """Run Algorithm 1's grouping (lines 1–19).
+
+    Parameters
+    ----------
+    streams:
+        The (already split) periodic stream set T.
+    n_servers:
+        Number of groups N available.
+    strict:
+        When True (default), raise :class:`InfeasibleScheduleError` if a
+        stream fits in no group — the paper's "No feasible grouping
+        scheme".  When False, overflow streams are placed in the group
+        with the lowest resulting utilization (best effort; the caller
+        must then expect jitter), which is what baseline schedulers that
+        ignore Const2 effectively do.
+    """
+    if n_servers < 1:
+        raise ValueError(f"n_servers must be >= 1, got {n_servers}")
+
+    # Line 1: sort by period ascending (stable on stream_id for determinism).
+    by_period = sorted(streams, key=lambda s: (s.period, s.stream_id))
+    # Line 2: divisor-count priorities.
+    prios = divisor_priorities(by_period)
+    # Line 3: ascending priority, stable.
+    order = sorted(range(len(by_period)), key=lambda i: prios[i])
+    final = [by_period[i] for i in order]
+
+    groups: list[list[PeriodicStream]] = [[] for _ in range(n_servers)]
+    for s in final:
+        placed = False
+        for grp in groups:
+            if not grp or _fits(grp, s):
+                grp.append(s)
+                placed = True
+                break
+        if not placed:
+            if strict:
+                raise InfeasibleScheduleError(
+                    f"stream {s.stream_id} (T={s.period:.4f}s, p={s.processing_time:.4f}s) "
+                    f"fits in none of {n_servers} groups"
+                )
+            # Best effort: least-loaded group.
+            loads = [sum(x.load for x in g) for g in groups]
+            groups[loads.index(min(loads))].append(s)
+
+    return GroupingResult(groups=groups)

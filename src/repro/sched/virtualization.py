@@ -1,0 +1,107 @@
+"""Heterogeneous-server virtualization (§3, Variable Definition).
+
+The paper assumes homogeneous servers and notes "heterogeneous servers
+can be virtualized as multiple homogeneous VMs or containers".  This
+module performs that reduction: given physical servers with differing
+compute capacity and uplink bandwidth, it produces a set of homogeneous
+virtual server slots (each matching a base device profile) plus the
+mapping back to physical hosts, so the rest of the stack (Algorithm 1,
+the simulator, PaMO) operates unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils import check_positive
+from repro.video.profiles import DeviceProfile, JETSON_NX_PROFILE
+
+
+@dataclass(frozen=True)
+class PhysicalServer:
+    """A heterogeneous physical edge server."""
+
+    name: str
+    tflops: float
+    bandwidth_mbps: float
+
+    def __post_init__(self) -> None:
+        check_positive("tflops", self.tflops)
+        check_positive("bandwidth_mbps", self.bandwidth_mbps)
+
+
+@dataclass(frozen=True)
+class VirtualSlot:
+    """One homogeneous VM slot carved from a physical server."""
+
+    slot_id: int
+    physical: str
+    bandwidth_mbps: float
+
+
+@dataclass
+class VirtualCluster:
+    """Result of virtualization: slots + reverse mapping."""
+
+    slots: list[VirtualSlot]
+    profile: DeviceProfile
+
+    @property
+    def bandwidths_mbps(self) -> np.ndarray:
+        return np.array([s.bandwidth_mbps for s in self.slots])
+
+    @property
+    def n_slots(self) -> int:
+        return len(self.slots)
+
+    def physical_of(self, slot_id: int) -> str:
+        """Name of the physical server hosting ``slot_id``."""
+        return self.slots[slot_id].physical
+
+    def slots_of(self, physical: str) -> list[int]:
+        """Slot ids carved from the named physical server."""
+        return [s.slot_id for s in self.slots if s.physical == physical]
+
+
+def virtualize(
+    servers: list[PhysicalServer],
+    *,
+    base_profile: DeviceProfile = JETSON_NX_PROFILE,
+    min_slot_fraction: float = 0.5,
+) -> VirtualCluster:
+    """Carve homogeneous VM slots out of heterogeneous servers.
+
+    Each physical server contributes ``floor(tflops / base.tflops)``
+    slots (at least one if it has ``min_slot_fraction`` of a base unit
+    — undersized hardware still hosts one best-effort slot), and its
+    uplink bandwidth is split evenly across its slots, mirroring how
+    per-VM traffic shaping is provisioned in practice.
+
+    Raises ``ValueError`` if no server can host a slot.
+    """
+    if not servers:
+        raise ValueError("need at least one physical server")
+    check_positive("min_slot_fraction", min_slot_fraction)
+    slots: list[VirtualSlot] = []
+    sid = 0
+    for srv in servers:
+        ratio = srv.tflops / base_profile.effective_tflops
+        n = int(ratio)
+        if n == 0 and ratio >= min_slot_fraction:
+            n = 1
+        if n == 0:
+            continue
+        bw_each = srv.bandwidth_mbps / n
+        for _ in range(n):
+            slots.append(
+                VirtualSlot(slot_id=sid, physical=srv.name, bandwidth_mbps=bw_each)
+            )
+            sid += 1
+    if not slots:
+        raise ValueError(
+            "no physical server can host a homogeneous slot; "
+            f"base profile needs {base_profile.effective_tflops} TFLOPS"
+        )
+    return VirtualCluster(slots=slots, profile=base_profile)

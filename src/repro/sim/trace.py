@@ -1,0 +1,178 @@
+"""Trace recording and time-varying bandwidth (§5.2's trace emulation).
+
+Two facilities:
+
+* :class:`BandwidthTrace` + :class:`TracedUplinkLink` — a piecewise-
+  constant uplink-bandwidth timeline (the WiFi variation a real testbed
+  exhibits; §5.2 uses "trace data to emulate more than four servers").
+  The link looks up the bandwidth in effect when each transmission
+  starts.
+* :class:`FrameTraceRecorder` — per-frame event log (emit, arrival,
+  start, finish) exported as arrays for offline analysis or replay.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.sim.events import EventQueue
+from repro.sim.network import UplinkLink
+from repro.sim.server import QueuedFrame
+from repro.utils import check_array_1d, check_positive
+
+
+class BandwidthTrace:
+    """Piecewise-constant bandwidth timeline.
+
+    ``times[i]`` is when ``values[i]`` takes effect; ``times[0]`` must
+    be 0 so the trace covers the whole run.  Lookup is O(log n).
+    """
+
+    def __init__(self, times, values_mbps) -> None:
+        self.times = check_array_1d("times", times, min_len=1)
+        self.values = check_array_1d("values_mbps", values_mbps, min_len=1)
+        if self.times.size != self.values.size:
+            raise ValueError(
+                f"{self.times.size} times but {self.values.size} values"
+            )
+        if self.times[0] != 0.0:
+            raise ValueError("trace must start at t=0")
+        if np.any(np.diff(self.times) <= 0):
+            raise ValueError("times must be strictly increasing")
+        if np.any(self.values <= 0):
+            raise ValueError("bandwidth values must be positive")
+
+    def at(self, t: float) -> float:
+        """Bandwidth (Mbps) in effect at time ``t``."""
+        if t < 0:
+            raise ValueError(f"t must be >= 0, got {t}")
+        idx = bisect.bisect_right(self.times.tolist(), t) - 1
+        return float(self.values[idx])
+
+    @classmethod
+    def constant(cls, mbps: float) -> "BandwidthTrace":
+        check_positive("mbps", mbps)
+        return cls([0.0], [mbps])
+
+    @classmethod
+    def random_walk(
+        cls,
+        horizon: float,
+        *,
+        step: float = 1.0,
+        lo: float = 5.0,
+        hi: float = 30.0,
+        start: float | None = None,
+        rng=None,
+    ) -> "BandwidthTrace":
+        """Synthetic WiFi-like trace: bounded random walk, 1 step/s."""
+        from repro.utils import as_generator
+
+        check_positive("horizon", horizon)
+        gen = as_generator(rng)
+        times = np.arange(0.0, horizon + step, step)
+        vals = np.empty_like(times)
+        vals[0] = start if start is not None else gen.uniform(lo, hi)
+        for i in range(1, times.size):
+            vals[i] = np.clip(
+                vals[i - 1] + gen.normal(0, (hi - lo) * 0.08), lo, hi
+            )
+        return cls(times, vals)
+
+
+class TracedUplinkLink(UplinkLink):
+    """Uplink whose bandwidth follows a :class:`BandwidthTrace`.
+
+    The serialization time of a frame uses the bandwidth in effect at
+    transmission start (adequate for sub-second frames against
+    second-scale traces).
+    """
+
+    def __init__(self, server_id: int, trace: BandwidthTrace, queue: EventQueue) -> None:
+        super().__init__(server_id, trace.at(0.0), queue)
+        self.trace = trace
+
+    def send(self, bits: float, on_delivered: Callable[[float], None]) -> float:
+        start = max(self._queue.now, self._free_at)
+        self.bandwidth_mbps = self.trace.at(start)
+        return super().send(bits, on_delivered)
+
+
+@dataclass
+class FrameEvent:
+    """One frame's full lifecycle."""
+
+    stream_id: int
+    frame_id: int
+    emit_time: float
+    arrival_time: float
+    start_time: float
+    finish_time: float
+
+    @property
+    def e2e_latency(self) -> float:
+        return self.finish_time - self.emit_time
+
+    @property
+    def queueing_delay(self) -> float:
+        return self.start_time - self.arrival_time
+
+
+@dataclass
+class FrameTraceRecorder:
+    """Collects per-frame events; attach via server ``on_done`` hooks."""
+
+    events: list[FrameEvent] = field(default_factory=list)
+
+    def record(self, frame: QueuedFrame) -> None:
+        """Append a completed frame's lifecycle to the trace."""
+        self.events.append(
+            FrameEvent(
+                stream_id=frame.stream_id,
+                frame_id=frame.frame_id,
+                emit_time=frame.emit_time,
+                arrival_time=frame.arrival_time,
+                start_time=frame.start_time,
+                finish_time=frame.finish_time,
+            )
+        )
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def to_arrays(self) -> dict[str, np.ndarray]:
+        """Columnar export: one array per field, row per frame."""
+        if not self.events:
+            return {
+                k: np.zeros(0)
+                for k in (
+                    "stream_id", "frame_id", "emit_time", "arrival_time",
+                    "start_time", "finish_time",
+                )
+            }
+        return {
+            "stream_id": np.array([e.stream_id for e in self.events]),
+            "frame_id": np.array([e.frame_id for e in self.events]),
+            "emit_time": np.array([e.emit_time for e in self.events]),
+            "arrival_time": np.array([e.arrival_time for e in self.events]),
+            "start_time": np.array([e.start_time for e in self.events]),
+            "finish_time": np.array([e.finish_time for e in self.events]),
+        }
+
+    def summary(self) -> dict[str, float]:
+        """Aggregate latency/jitter statistics over the whole trace."""
+        if not self.events:
+            return {"n_frames": 0.0}
+        lat = np.array([e.e2e_latency for e in self.events])
+        qd = np.array([e.queueing_delay for e in self.events])
+        return {
+            "n_frames": float(len(self.events)),
+            "mean_latency": float(lat.mean()),
+            "p99_latency": float(np.percentile(lat, 99)),
+            "max_queueing_delay": float(qd.max()),
+            "mean_queueing_delay": float(qd.mean()),
+        }

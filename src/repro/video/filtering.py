@@ -1,0 +1,162 @@
+"""On-camera adaptive filtering and ROI encoding (§6's extensions).
+
+The paper's related-work section names two data-reduction families it
+plans to layer on top of PaMO: *frame filtering* (Reducto/Glimpse-style
+— only send frames whose content changed) and *region-of-interest
+encoding* (only encode the parts of a frame containing objects).  Both
+are implemented here against the synthetic clip substrate:
+
+* :class:`FrameDifferenceFilter` — a cheap camera-side filter that
+  scores inter-frame change from box motion/appearance (the proxy a
+  pixel-difference filter measures) and skips frames below threshold;
+* :func:`roi_bits_per_frame` — encoded size when only object regions
+  (padded) are sent at full quality and the background at low quality.
+
+Each reduces the *effective* frame rate / frame size, trading accuracy
+for bandwidth exactly like the resolution/fps knobs PaMO already
+controls; `effective_stream_load` exposes the combined effect so the
+scheduler can reason about filtered streams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.detection.boxes import box_area, iou_matrix
+from repro.utils import check_in_range, check_positive
+from repro.video.encoder import EncoderModel
+from repro.video.synthetic import SyntheticClip
+
+
+@dataclass(frozen=True)
+class FrameDifferenceFilter:
+    """Camera-side change filter.
+
+    A frame is *sent* when its content differs enough from the last
+    sent frame: change = 1 − mean best-IoU between the two frames' box
+    sets (new/vanished objects count as full change).
+
+    Parameters
+    ----------
+    threshold:
+        Change score in [0, 1] above which a frame is transmitted.
+        0 sends everything; 1 sends (almost) nothing after the first.
+    """
+
+    threshold: float = 0.2
+
+    def __post_init__(self) -> None:
+        check_in_range("threshold", self.threshold, 0.0, 1.0)
+
+    def change_score(self, boxes_prev: np.ndarray, boxes_new: np.ndarray) -> float:
+        """Content-change score between two frames' ground-truth boxes."""
+        prev = np.asarray(boxes_prev, dtype=float).reshape(-1, 4)
+        new = np.asarray(boxes_new, dtype=float).reshape(-1, 4)
+        if prev.shape[0] == 0 and new.shape[0] == 0:
+            return 0.0
+        if prev.shape[0] == 0 or new.shape[0] == 0:
+            return 1.0
+        iou = iou_matrix(new, prev)
+        best = iou.max(axis=1)  # how well each new box is explained
+        coverage = float(best.mean())
+        # population change also counts
+        pop = abs(new.shape[0] - prev.shape[0]) / max(new.shape[0], prev.shape[0])
+        return float(np.clip(1.0 - coverage + 0.5 * pop, 0.0, 1.0))
+
+    def select_frames(self, clip: SyntheticClip) -> np.ndarray:
+        """Boolean mask of frames that pass the filter (frame 0 always)."""
+        mask = np.zeros(clip.n_frames, dtype=bool)
+        if clip.n_frames == 0:
+            return mask
+        mask[0] = True
+        last_sent = clip.frames[0]
+        for i in range(1, clip.n_frames):
+            if self.change_score(last_sent, clip.frames[i]) >= self.threshold:
+                mask[i] = True
+                last_sent = clip.frames[i]
+        return mask
+
+    def effective_fps(self, clip: SyntheticClip) -> float:
+        """Average transmitted frame rate after filtering."""
+        mask = self.select_frames(clip)
+        return float(mask.mean()) * clip.config.native_fps
+
+
+def roi_bits_per_frame(
+    gt_boxes: np.ndarray,
+    width: float,
+    *,
+    encoder: EncoderModel | None = None,
+    frame_width: float = 1920.0,
+    frame_height: float = 1080.0,
+    padding: float = 0.15,
+    background_quality: float = 0.08,
+    texture: float = 1.0,
+) -> float:
+    """Encoded bits when only object regions are sent at full quality.
+
+    Object boxes (padded by ``padding`` of their size) are encoded at
+    the full per-pixel rate; the background at ``background_quality``
+    of it.  Overlap between ROIs is approximated by capping the ROI
+    area at the frame area.
+
+    Returns bits for one frame at resolution ``width``.
+    """
+    check_positive("width", width)
+    check_in_range("background_quality", background_quality, 0.0, 1.0)
+    check_positive("padding", padding, strict=False)
+    enc = encoder or EncoderModel()
+    full_bits = enc.bits_per_frame(width, texture=texture)
+    frame_area = frame_width * frame_height
+    boxes = np.asarray(gt_boxes, dtype=float).reshape(-1, 4)
+    if boxes.shape[0] == 0:
+        return background_quality * full_bits
+    w = boxes[:, 2] - boxes[:, 0]
+    h = boxes[:, 3] - boxes[:, 1]
+    padded = (w * (1 + 2 * padding)) * (h * (1 + 2 * padding))
+    roi_fraction = float(np.clip(padded.sum() / frame_area, 0.0, 1.0))
+    return full_bits * (roi_fraction + background_quality * (1.0 - roi_fraction))
+
+
+def effective_stream_load(
+    clip: SyntheticClip,
+    width: float,
+    fps: float,
+    *,
+    frame_filter: FrameDifferenceFilter | None = None,
+    roi: bool = False,
+    encoder: EncoderModel | None = None,
+) -> tuple[float, float]:
+    """(effective_fps, mean_bits_per_frame) after camera-side reduction.
+
+    The scheduler treats a filtered/ROI stream as a plain stream with
+    these effective parameters — the same abstraction the paper uses
+    for the resolution/fps knobs.
+    """
+    check_positive("fps", fps)
+    enc = encoder or EncoderModel()
+    eff_fps = min(fps, clip.config.native_fps)
+    if frame_filter is not None:
+        eff_fps = min(eff_fps, frame_filter.effective_fps(clip))
+        eff_fps = max(eff_fps, 1e-6)
+    if roi:
+        bits = float(
+            np.mean(
+                [
+                    roi_bits_per_frame(
+                        f,
+                        width,
+                        encoder=enc,
+                        frame_width=clip.config.width,
+                        frame_height=clip.config.height,
+                        texture=clip.config.texture,
+                    )
+                    for f in clip.frames
+                ]
+            )
+        )
+    else:
+        bits = enc.bits_per_frame(width, texture=clip.config.texture)
+    return eff_fps, bits

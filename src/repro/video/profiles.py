@@ -1,0 +1,84 @@
+"""Edge-device compute/energy profiles.
+
+A :class:`DeviceProfile` supplies the per-frame resource primitives that
+the paper measures on Jetson Xavier NX devices (§5.1) and that the
+outcome functions of §3 are built from:
+
+* ``flops_per_frame(r)`` — inference cost in TFLOPs, quadratic in width
+  (convolutional backbones scale with pixel count);
+* ``processing_time(r)`` — θ_lcom(r), seconds to infer one frame, i.e.
+  flops over the device's effective throughput plus a fixed pipeline
+  overhead (decode, NMS, memcpy);
+* ``energy_per_frame(r)`` — θ_eng(r), joules per inference.
+
+The default profile is calibrated so that the Figure-2 surfaces come out
+with the paper's shapes and rough magnitudes: ~40 TFLOPs of aggregate
+compute and ≤ ~0.5 s processing latency at (2000 px, 30 fps).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils import check_positive
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """Homogeneous edge-server capability model.
+
+    Parameters
+    ----------
+    name:
+        Human-readable device label.
+    effective_tflops:
+        Sustained DNN throughput (TFLOP/s) of the accelerator.
+    flops_ref:
+        Model inference cost in TFLOPs at ``ref_width``.
+    ref_width:
+        Resolution at which ``flops_ref`` was measured.
+    fixed_overhead:
+        Resolution-independent per-frame pipeline time (s).
+    idle_power:
+        Device idle draw in watts.
+    compute_power:
+        Additional draw while the accelerator is busy (W).
+    """
+
+    name: str = "jetson-xavier-nx"
+    effective_tflops: float = 6.0
+    flops_ref: float = 1.35
+    ref_width: float = 1920.0
+    fixed_overhead: float = 0.008
+    idle_power: float = 5.0
+    compute_power: float = 15.0
+
+    def __post_init__(self) -> None:
+        check_positive("effective_tflops", self.effective_tflops)
+        check_positive("flops_ref", self.flops_ref)
+        check_positive("ref_width", self.ref_width)
+        check_positive("fixed_overhead", self.fixed_overhead, strict=False)
+        check_positive("idle_power", self.idle_power, strict=False)
+        check_positive("compute_power", self.compute_power, strict=False)
+
+    def flops_per_frame(self, width: float) -> float:
+        """Inference cost (TFLOPs) for one frame at ``width`` pixels wide."""
+        check_positive("width", width)
+        return self.flops_ref * (float(width) / self.ref_width) ** 2
+
+    def processing_time(self, width: float) -> float:
+        """θ_lcom(r): seconds to process one frame (quadratic in width)."""
+        return self.flops_per_frame(width) / self.effective_tflops + self.fixed_overhead
+
+    def energy_per_frame(self, width: float) -> float:
+        """θ_eng(r): joules consumed inferring one frame."""
+        return self.compute_power * self.processing_time(width)
+
+    def utilization(self, width: float, fps: float) -> float:
+        """Fraction of a second busy when serving one stream (p·s)."""
+        check_positive("fps", fps)
+        return self.processing_time(width) * float(fps)
+
+
+#: Default profile used throughout experiments (≈ Jetson Xavier NX).
+JETSON_NX_PROFILE = DeviceProfile()

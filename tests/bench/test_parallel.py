@@ -1,0 +1,66 @@
+"""Tests for the parallel experiment runner."""
+
+import os
+
+import pytest
+
+from repro.bench import default_workers, run_parallel
+
+
+def _square(x):
+    return x * x
+
+
+def _add(a, b):
+    return a + b
+
+
+def _boom(x):
+    raise RuntimeError(f"arm {x} failed")
+
+
+class TestRunParallel:
+    def test_sequential_path(self):
+        out = run_parallel(_square, [(1,), (2,), (3,)], n_workers=1)
+        assert out == [1, 4, 9]
+
+    def test_parallel_path_preserves_order(self):
+        out = run_parallel(_square, [(i,) for i in range(8)], n_workers=2)
+        assert out == [i * i for i in range(8)]
+
+    def test_multiple_args(self):
+        out = run_parallel(_add, [(1, 2), (3, 4)], n_workers=2)
+        assert out == [3, 7]
+
+    def test_single_arm_runs_inline(self):
+        out = run_parallel(_square, [(5,)], n_workers=4)
+        assert out == [25]
+
+    def test_empty_list(self):
+        assert run_parallel(_square, [], n_workers=2) == []
+
+    def test_failure_propagates(self):
+        with pytest.raises(RuntimeError, match="arm 1 failed"):
+            run_parallel(_boom, [(1,), (2,)], n_workers=2)
+
+    def test_failure_propagates_sequential(self):
+        with pytest.raises(RuntimeError):
+            run_parallel(_boom, [(1,)], n_workers=1)
+
+    def test_invalid_workers(self):
+        with pytest.raises(ValueError):
+            run_parallel(_square, [(1,)], n_workers=0)
+
+
+class TestDefaultWorkers:
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert default_workers() == 3
+
+    def test_floor_of_one(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "0")
+        assert default_workers() == 1
+
+    def test_without_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert default_workers() >= 1

@@ -1,0 +1,62 @@
+"""Tests for initial designs."""
+
+import numpy as np
+import pytest
+
+from repro.bo import grid_design, latin_hypercube, sobol_design
+
+BOUNDS = np.array([[0.0, 1.0], [10.0, 20.0]])
+
+
+class TestSobol:
+    def test_shape_and_bounds(self):
+        x = sobol_design(BOUNDS, 16, rng=0)
+        assert x.shape == (16, 2)
+        assert np.all(x[:, 0] >= 0) and np.all(x[:, 0] <= 1)
+        assert np.all(x[:, 1] >= 10) and np.all(x[:, 1] <= 20)
+
+    def test_deterministic(self):
+        a = sobol_design(BOUNDS, 8, rng=3)
+        b = sobol_design(BOUNDS, 8, rng=3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_non_power_of_two(self):
+        x = sobol_design(BOUNDS, 10, rng=0)
+        assert x.shape == (10, 2)
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            sobol_design(BOUNDS, 0)
+
+
+class TestLatinHypercube:
+    def test_stratification(self):
+        x = latin_hypercube(np.array([[0.0, 1.0]]), 10, rng=0)
+        # exactly one point per decile
+        bins = np.floor(x[:, 0] * 10).astype(int)
+        assert sorted(bins.tolist()) == list(range(10))
+
+    def test_shape(self):
+        x = latin_hypercube(BOUNDS, 7, rng=1)
+        assert x.shape == (7, 2)
+
+    def test_bad_bounds_raises(self):
+        with pytest.raises(ValueError):
+            latin_hypercube(np.array([[1.0, 1.0]]), 5)
+
+
+class TestGrid:
+    def test_full_factorial(self):
+        x = grid_design(BOUNDS, 3)
+        assert x.shape == (9, 2)
+        assert np.unique(x[:, 0]).size == 3
+
+    def test_includes_corners(self):
+        x = grid_design(BOUNDS, 2)
+        corners = {(0.0, 10.0), (0.0, 20.0), (1.0, 10.0), (1.0, 20.0)}
+        got = {tuple(row) for row in x}
+        assert got == corners
+
+    def test_min_points(self):
+        with pytest.raises(ValueError):
+            grid_design(BOUNDS, 1)

@@ -1,0 +1,105 @@
+"""Tests for utopia computation, Eq. 13 benefit, normalization."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    EVAProblem,
+    benefit_ratio,
+    compute_bounds,
+    compute_utopia,
+    make_preference,
+    normalized_benefit,
+)
+
+
+@pytest.fixture(scope="module")
+def problem():
+    return EVAProblem(n_streams=3, bandwidths_mbps=[10.0, 20.0])
+
+
+class TestBoundsAndUtopia:
+    def test_bounds_ordered(self, problem):
+        lo, hi = compute_bounds(problem)
+        assert np.all(lo <= hi)
+        assert np.all(lo < hi)  # every objective actually varies
+
+    def test_utopia_components(self, problem):
+        lo, hi = compute_bounds(problem)
+        u = compute_utopia(problem)
+        # lower-better objectives at lo, accuracy at hi
+        assert u[0] == lo[0]
+        assert u[1] == hi[1]
+        assert u[2] == lo[2] and u[3] == lo[3] and u[4] == lo[4]
+
+    def test_utopia_unattainable(self, problem):
+        """No single decision achieves the utopia vector (§5.1)."""
+        u = compute_utopia(problem)
+        pref = make_preference(problem)
+        for seed in range(20):
+            r, s = problem.sample_decision(rng=seed)
+            y = problem.evaluate(r, s)
+            assert pref.value(y) < pref.value(u) - 1e-9
+
+
+class TestMakePreference:
+    def test_default_weights(self, problem):
+        pref = make_preference(problem)
+        np.testing.assert_array_equal(pref.weights, np.ones(5))
+
+    def test_utopia_is_best(self, problem):
+        pref = make_preference(problem)
+        assert pref.value(pref.utopia) == pytest.approx(0.0)
+
+    def test_custom_weights(self, problem):
+        pref = make_preference(problem, weights=[2, 1, 1, 1, 1])
+        assert pref.weights[0] == 2
+
+
+class TestNormalizedBenefit:
+    def test_max_maps_to_one(self):
+        assert normalized_benefit(-0.5, u_max=-0.5, u_min=-2.5) == pytest.approx(1.0)
+
+    def test_min_maps_to_zero(self):
+        assert normalized_benefit(-2.5, u_max=-0.5, u_min=-2.5) == pytest.approx(0.0)
+
+    def test_midpoint(self):
+        assert normalized_benefit(-1.5, u_max=-0.5, u_min=-2.5) == pytest.approx(0.5)
+
+    def test_clipping(self):
+        assert normalized_benefit(-5.0, u_max=-0.5, u_min=-2.5) == 0.0
+        assert normalized_benefit(0.0, u_max=-0.5, u_min=-2.5) == 1.0
+
+    def test_vectorized(self):
+        out = normalized_benefit(np.array([-0.5, -2.5]), -0.5, -2.5)
+        np.testing.assert_allclose(out, [1.0, 0.0])
+
+    def test_degenerate_span(self):
+        assert normalized_benefit(-1.0, u_max=-1.0, u_min=-1.0) == 1.0
+
+
+class TestBenefitRatio:
+    def test_shares_sum_to_one(self, problem):
+        pref = make_preference(problem, weights=[1, 2, 0.5, 1, 1.5])
+        r, s = problem.sample_decision(rng=0)
+        y = problem.evaluate(r, s)
+        shares = benefit_ratio(pref, y)
+        assert shares.shape == (5,)
+        assert shares.sum() == pytest.approx(1.0)
+        assert np.all(shares >= 0)
+
+    def test_weight_shifts_share(self, problem):
+        r, s = problem.sample_decision(rng=1)
+        y = problem.evaluate(r, s)
+        base = benefit_ratio(make_preference(problem), y)
+        heavy = benefit_ratio(make_preference(problem, weights=[5, 1, 1, 1, 1]), y)
+        assert heavy[0] > base[0]
+
+    def test_batched(self, problem):
+        pref = make_preference(problem)
+        ys = np.stack(
+            [problem.evaluate(*problem.sample_decision(rng=i)) for i in range(3)]
+        )
+        shares = benefit_ratio(pref, ys)
+        assert shares.shape == (3, 5)
+        np.testing.assert_allclose(shares.sum(axis=1), 1.0)

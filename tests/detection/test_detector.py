@@ -1,0 +1,116 @@
+"""Tests for the simulated detector: configuration-sensitive accuracy."""
+
+import numpy as np
+import pytest
+
+from repro.detection import DetectorModel, SimulatedDetector
+from repro.detection.evaluate import FrameResult, mean_average_precision
+from repro.video import SceneConfig, generate_clip
+
+
+class TestDetectorModel:
+    def test_probability_monotone_in_area(self):
+        m = DetectorModel()
+        areas = np.array([10.0, 100.0, 1000.0, 10000.0])
+        p = m.detection_probability(areas)
+        assert np.all(np.diff(p) > 0)
+
+    def test_probability_bounded(self):
+        m = DetectorModel(max_recall=0.9)
+        p = m.detection_probability(np.array([1e12]))
+        assert p[0] <= 0.9 + 1e-9
+
+    def test_invalid_params_raise(self):
+        with pytest.raises(ValueError):
+            DetectorModel(max_recall=1.5)
+        with pytest.raises(ValueError):
+            DetectorModel(area50=-1)
+
+
+class TestInferFrame:
+    def test_detects_large_objects_at_full_res(self):
+        det = SimulatedDetector(rng=0)
+        gt = np.array([[100, 100, 400, 400]])  # huge object
+        hits = sum(
+            det.infer_frame(gt, 1920.0).boxes.shape[0] > 0 for _ in range(20)
+        )
+        assert hits >= 18
+
+    def test_small_objects_lost_at_low_res(self):
+        model = DetectorModel(fp_rate=0.0)
+        det = SimulatedDetector(model, rng=0)
+        gt = np.array([[100, 100, 130, 130]])  # 30px object
+        found_low = sum(
+            det.infer_frame(gt, 200.0).boxes.shape[0] for _ in range(50)
+        )
+        det2 = SimulatedDetector(model, rng=0)
+        found_high = sum(
+            det2.infer_frame(gt, 1920.0).boxes.shape[0] for _ in range(50)
+        )
+        assert found_high > found_low
+
+    def test_empty_gt_only_fps(self):
+        det = SimulatedDetector(DetectorModel(fp_rate=0.0), rng=0)
+        out = det.infer_frame(np.zeros((0, 4)), 1920.0)
+        assert out.boxes.shape[0] == 0
+
+    def test_boxes_within_frame(self):
+        det = SimulatedDetector(rng=1)
+        gt = np.array([[0, 0, 60, 60], [1800, 1000, 1920, 1080]])
+        out = det.infer_frame(gt, 960.0)
+        assert np.all(out.boxes[:, [0, 2]] <= 1920.0)
+        assert np.all(out.boxes >= 0.0)
+
+    def test_invalid_width_raises(self):
+        det = SimulatedDetector(rng=0)
+        with pytest.raises(ValueError):
+            det.infer_frame(np.zeros((0, 4)), -5)
+
+
+class TestDetectClip:
+    def _map_at(self, width, fps, *, seed=0, speed=8.0):
+        cfg = SceneConfig(n_objects=10, object_size=80, speed=speed)
+        clip = generate_clip(cfg, n_frames=60, rng=seed)
+        det = SimulatedDetector(rng=seed)
+        dets = det.detect_clip(clip.frames, width, fps, native_fps=cfg.native_fps)
+        frames = [
+            FrameResult(gt, d.boxes, d.scores)
+            for gt, d in zip(clip.frames, dets)
+        ]
+        return mean_average_precision(frames)
+
+    def test_processed_frame_count_scales_with_fps(self):
+        cfg = SceneConfig()
+        clip = generate_clip(cfg, n_frames=90, rng=0)
+        det = SimulatedDetector(rng=0)
+        d30 = det.detect_clip(clip.frames, 960, 30.0)
+        d10 = det.detect_clip(clip.frames, 960, 10.0)
+        n30 = sum(d.processed for d in d30)
+        n10 = sum(d.processed for d in d10)
+        assert n30 == 90
+        assert 25 <= n10 <= 35
+
+    def test_fps_capped_at_native(self):
+        cfg = SceneConfig()
+        clip = generate_clip(cfg, n_frames=30, rng=0)
+        det = SimulatedDetector(rng=0)
+        dets = det.detect_clip(clip.frames, 960, 90.0, native_fps=30.0)
+        assert len(dets) == 30
+
+    def test_accuracy_increases_with_resolution(self):
+        low = np.mean([self._map_at(300, 30, seed=s) for s in range(3)])
+        high = np.mean([self._map_at(1920, 30, seed=s) for s in range(3)])
+        assert high > low
+
+    def test_accuracy_increases_with_fps(self):
+        low = np.mean([self._map_at(1920, 2, seed=s) for s in range(3)])
+        high = np.mean([self._map_at(1920, 30, seed=s) for s in range(3)])
+        assert high > low
+
+    def test_all_frames_have_results(self):
+        cfg = SceneConfig()
+        clip = generate_clip(cfg, n_frames=45, rng=0)
+        det = SimulatedDetector(rng=0)
+        dets = det.detect_clip(clip.frames, 960, 5.0)
+        assert len(dets) == 45
+        assert dets[0].processed  # first frame always inferred

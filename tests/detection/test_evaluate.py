@@ -1,0 +1,133 @@
+"""Tests for repro.detection.evaluate (matching, PR, AP, mAP)."""
+
+import numpy as np
+import pytest
+
+from repro.detection.evaluate import (
+    FrameResult,
+    average_precision,
+    match_detections,
+    mean_average_precision,
+    precision_recall_curve,
+)
+
+
+def _frame(gt, det, scores):
+    return FrameResult(
+        gt_boxes=np.asarray(gt, dtype=float).reshape(-1, 4),
+        det_boxes=np.asarray(det, dtype=float).reshape(-1, 4),
+        det_scores=np.asarray(scores, dtype=float),
+    )
+
+
+class TestMatchDetections:
+    def test_perfect_match(self):
+        gt = np.array([[0, 0, 10, 10]])
+        tp = match_detections(gt, gt, np.array([0.9]))
+        assert tp.tolist() == [True]
+
+    def test_low_iou_not_matched(self):
+        gt = np.array([[0, 0, 10, 10]])
+        det = np.array([[100, 100, 110, 110]])
+        tp = match_detections(gt, det, np.array([0.9]))
+        assert tp.tolist() == [False]
+
+    def test_one_gt_matches_once(self):
+        gt = np.array([[0, 0, 10, 10]])
+        det = np.array([[0, 0, 10, 10], [0, 0, 10, 10]])
+        tp = match_detections(gt, det, np.array([0.9, 0.8]))
+        assert sorted(tp.tolist()) == [False, True]
+
+    def test_higher_confidence_wins(self):
+        gt = np.array([[0, 0, 10, 10]])
+        det = np.array([[0, 0, 10, 10], [0, 0, 10, 10]])
+        tp = match_detections(gt, det, np.array([0.5, 0.95]))
+        # the 0.95 det (index 1) should take the gt
+        assert tp.tolist() == [False, True]
+
+    def test_empty_detections(self):
+        gt = np.array([[0, 0, 10, 10]])
+        tp = match_detections(gt, np.zeros((0, 4)), np.zeros(0))
+        assert tp.shape == (0,)
+
+    def test_empty_gt_all_fp(self):
+        det = np.array([[0, 0, 10, 10]])
+        tp = match_detections(np.zeros((0, 4)), det, np.array([0.9]))
+        assert tp.tolist() == [False]
+
+    def test_iou_threshold_respected(self):
+        gt = np.array([[0, 0, 10, 10]])
+        det = np.array([[0, 0, 10, 6]])  # IoU = 0.6
+        assert match_detections(gt, det, np.array([0.9]), iou_threshold=0.5)[0]
+        assert not match_detections(gt, det, np.array([0.9]), iou_threshold=0.7)[0]
+
+
+class TestPrecisionRecallCurve:
+    def test_perfect_detector(self):
+        gt = [[0, 0, 10, 10], [20, 20, 30, 30]]
+        fr = _frame(gt, gt, [0.9, 0.8])
+        r, p = precision_recall_curve([fr])
+        assert r[-1] == pytest.approx(1.0)
+        np.testing.assert_allclose(p, 1.0)
+
+    def test_all_false_positives(self):
+        fr = _frame([[0, 0, 10, 10]], [[50, 50, 60, 60]], [0.9])
+        r, p = precision_recall_curve([fr])
+        assert r[-1] == 0.0
+        assert p[-1] == 0.0
+
+    def test_pools_across_frames(self):
+        f1 = _frame([[0, 0, 10, 10]], [[0, 0, 10, 10]], [0.9])
+        f2 = _frame([[0, 0, 10, 10]], np.zeros((0, 4)), [])
+        r, p = precision_recall_curve([f1, f2])
+        assert r[-1] == pytest.approx(0.5)  # 1 of 2 gt found
+
+    def test_empty_everything(self):
+        r, p = precision_recall_curve([_frame(np.zeros((0, 4)), np.zeros((0, 4)), [])])
+        assert r.size == 0 and p.size == 0
+
+
+class TestAveragePrecision:
+    def test_perfect_is_near_one(self):
+        r = np.array([0.5, 1.0])
+        p = np.array([1.0, 1.0])
+        # 101-point AP includes recall=0 level; envelope=1 there too.
+        assert average_precision(r, p) == pytest.approx(1.0)
+
+    def test_zero_recall_is_zero_ish(self):
+        r = np.array([0.0])
+        p = np.array([0.0])
+        assert average_precision(r, p) <= 0.05
+
+    def test_monotone_envelope(self):
+        # sawtooth precision should be lifted by the envelope
+        r = np.array([0.2, 0.4, 0.6])
+        p = np.array([0.5, 1.0, 0.25])
+        ap = average_precision(r, p)
+        # envelope at r<=0.4 is 1.0
+        assert ap > 0.4
+
+    def test_empty(self):
+        assert average_precision(np.zeros(0), np.zeros(0)) == 0.0
+
+    def test_between_zero_and_one(self, rng):
+        r = np.sort(rng.random(50))
+        p = rng.random(50)
+        assert 0.0 <= average_precision(r, p) <= 1.0
+
+
+class TestMeanAveragePrecision:
+    def test_single_class_list(self):
+        gt = [[0, 0, 10, 10]]
+        fr = _frame(gt, gt, [0.9])
+        assert mean_average_precision([fr]) == pytest.approx(1.0)
+
+    def test_dict_of_classes(self):
+        gt = [[0, 0, 10, 10]]
+        good = _frame(gt, gt, [0.9])
+        bad = _frame(gt, [[99, 99, 100, 100]], [0.9])
+        m = mean_average_precision({0: [good], 1: [bad]})
+        assert 0.4 < m < 0.6  # average of ~1 and ~0
+
+    def test_empty_dict(self):
+        assert mean_average_precision({}) == 0.0

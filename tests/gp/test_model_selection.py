@@ -1,0 +1,68 @@
+"""Tests for preference-GP hyperparameter cross-validation."""
+
+import numpy as np
+import pytest
+
+from repro.gp import ComparisonData, cross_validate_preference
+
+
+def _data(n_items=20, n_pairs=40, seed=0, noise=0.0):
+    gen = np.random.default_rng(seed)
+    items = gen.uniform(0, 1, (n_items, 3))
+    utility = items @ np.array([1.0, -0.5, 2.0])
+    data = ComparisonData(items=items)
+    for _ in range(n_pairs):
+        i, j = gen.choice(n_items, 2, replace=False)
+        ui, uj = utility[i], utility[j]
+        if noise > 0:
+            ui += gen.normal(0, noise)
+            uj += gen.normal(0, noise)
+        data.add_comparison(i, j) if ui >= uj else data.add_comparison(j, i)
+    return data, items, utility
+
+
+class TestCrossValidatePreference:
+    def test_returns_grid_member(self):
+        data, _, _ = _data()
+        ell, lam, score = cross_validate_preference(
+            data, lengthscales=(0.5, 2.0), noise_scales=(0.05, 0.2), rng=0
+        )
+        assert ell in (0.5, 2.0)
+        assert lam in (0.05, 0.2)
+        assert np.isfinite(score)
+
+    def test_score_is_valid_loglik(self):
+        data, _, _ = _data()
+        _, _, score = cross_validate_preference(data, rng=0)
+        # log probability of a binary event: <= 0, and better than chance-ish
+        assert score <= 0.0
+        assert score > np.log(1e-9)
+
+    def test_selected_model_beats_bad_hyperparams(self):
+        data, items, utility = _data(n_pairs=60, seed=1)
+        ell, lam, best_score = cross_validate_preference(
+            data,
+            lengthscales=(0.02, 1.5),
+            noise_scales=(0.05,),
+            n_folds=4,
+            rng=0,
+        )
+        # tiny lengthscale cannot generalize across items; CV should
+        # reject it in favor of the smooth model
+        assert ell == 1.5
+
+    def test_too_few_pairs_raises(self):
+        data, _, _ = _data(n_pairs=2)
+        with pytest.raises(ValueError):
+            cross_validate_preference(data, n_folds=4)
+
+    def test_deterministic_given_rng(self):
+        data, _, _ = _data()
+        a = cross_validate_preference(data, rng=7)
+        b = cross_validate_preference(data, rng=7)
+        assert a == b
+
+    def test_noisy_comparisons_still_work(self):
+        data, _, _ = _data(n_pairs=48, noise=0.3, seed=2)
+        ell, lam, score = cross_validate_preference(data, rng=0)
+        assert np.isfinite(score)

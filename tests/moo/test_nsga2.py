@@ -1,0 +1,141 @@
+"""Tests for NSGA-II: sorting, crowding, and convergence on known fronts."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.moo import NSGA2, crowding_distance, fast_non_dominated_sort
+
+
+class TestFastNonDominatedSort:
+    def test_single_point(self):
+        fronts = fast_non_dominated_sort(np.array([[1.0, 2.0]]))
+        assert len(fronts) == 1
+        assert fronts[0].tolist() == [0]
+
+    def test_chain_of_dominated_points(self):
+        y = np.array([[1, 1], [2, 2], [3, 3]], dtype=float)
+        fronts = fast_non_dominated_sort(y)
+        assert [f.tolist() for f in fronts] == [[0], [1], [2]]
+
+    def test_anti_chain_single_front(self):
+        y = np.array([[1, 3], [2, 2], [3, 1]], dtype=float)
+        fronts = fast_non_dominated_sort(y)
+        assert len(fronts) == 1
+        assert sorted(fronts[0].tolist()) == [0, 1, 2]
+
+    def test_duplicates_share_front(self):
+        y = np.array([[1, 1], [1, 1], [2, 2]], dtype=float)
+        fronts = fast_non_dominated_sort(y)
+        assert sorted(fronts[0].tolist()) == [0, 1]
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 10), st.integers(0, 10)),
+            min_size=1,
+            max_size=25,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_front0_is_nondominated(self, pts):
+        y = np.array(pts, dtype=float)
+        fronts = fast_non_dominated_sort(y)
+        front0 = set(fronts[0].tolist())
+        # every point is in exactly one front
+        all_idx = sorted(i for f in fronts for i in f.tolist())
+        assert all_idx == list(range(len(pts)))
+        # nothing dominates a front-0 member
+        for i in front0:
+            for j in range(len(pts)):
+                if j == i:
+                    continue
+                dominates = np.all(y[j] <= y[i]) and np.any(y[j] < y[i])
+                assert not dominates
+
+
+class TestCrowdingDistance:
+    def test_boundary_points_infinite(self):
+        y = np.array([[0, 3], [1, 2], [2, 1], [3, 0]], dtype=float)
+        cd = crowding_distance(y)
+        assert np.isinf(cd[0]) and np.isinf(cd[3])
+        assert np.isfinite(cd[1]) and np.isfinite(cd[2])
+
+    def test_two_points_infinite(self):
+        cd = crowding_distance(np.array([[0.0, 1.0], [1.0, 0.0]]))
+        assert np.all(np.isinf(cd))
+
+    def test_denser_point_has_smaller_distance(self):
+        # point 1 sits in the narrow window [0, 1.1]; point 2's window
+        # [1.0, 3.0] is wide, so point 1 is the more crowded one
+        y = np.array([[0, 3.0], [1.0, 2.0], [1.1, 1.9], [3.0, 0.0]])
+        cd = crowding_distance(y)
+        assert cd[1] < cd[2]
+
+
+class TestNSGA2:
+    def _run_biobj(self, seed=0, gens=25):
+        # classic convex front: minimize (x, 1-x) over x in [0, 1] grid
+        choices = [np.linspace(0, 1, 21)]
+
+        def evaluate(g):
+            x = g[0]
+            return np.array([x, (1 - np.sqrt(x)) if x >= 0 else 1.0])
+
+        opt = NSGA2(
+            evaluate, choices, pop_size=24, n_generations=gens, rng=seed
+        )
+        return opt.run()
+
+    def test_converges_to_front(self):
+        res = self._run_biobj()
+        front = res.front
+        # all front points near the true curve y = 1 - sqrt(x)
+        x = front[:, 0]
+        y = front[:, 1]
+        np.testing.assert_allclose(y, 1 - np.sqrt(x), atol=1e-9)
+        assert front.shape[0] >= 5  # spread along the front
+
+    def test_front_is_mutually_nondominated(self):
+        res = self._run_biobj(seed=1)
+        f = res.front
+        for i in range(f.shape[0]):
+            for j in range(f.shape[0]):
+                if i == j:
+                    continue
+                assert not (np.all(f[i] <= f[j]) and np.any(f[i] < f[j]))
+
+    def test_deterministic_by_seed(self):
+        a = self._run_biobj(seed=3, gens=5)
+        b = self._run_biobj(seed=3, gens=5)
+        np.testing.assert_array_equal(a.objectives, b.objectives)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            NSGA2(lambda g: g, [np.array([1.0])], pop_size=5)
+        with pytest.raises(ValueError):
+            NSGA2(lambda g: g, [np.array([])], pop_size=8)
+        with pytest.raises(ValueError):
+            NSGA2(lambda g: g, [np.array([1.0])], n_generations=0)
+
+    def test_on_eva_problem(self):
+        """NSGA-II generates a multi-point EVA Pareto front (Fig. 3b)."""
+        from repro.core import EVAProblem
+
+        problem = EVAProblem(n_streams=2, bandwidths_mbps=[10.0, 20.0])
+        space = problem.config_space
+
+        def evaluate(genome):
+            r = genome[[0, 2]]
+            s = genome[[1, 3]]
+            y = problem.evaluate(r, s)
+            y = y.copy()
+            y[1] = -y[1]  # maximize accuracy
+            return y
+
+        choices = [
+            np.array(space.resolutions),
+            np.array(space.fps_values),
+        ] * 2
+        res = NSGA2(evaluate, choices, pop_size=16, n_generations=8, rng=0).run()
+        assert res.front.shape[0] >= 3

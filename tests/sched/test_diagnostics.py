@@ -1,0 +1,56 @@
+"""Tests for infeasibility diagnosis."""
+
+import pytest
+
+from repro.sched import PeriodicStream, diagnose_infeasibility
+
+
+def _stream(sid, fps, p):
+    return PeriodicStream(
+        stream_id=sid, fps=fps, resolution=960.0,
+        processing_time=p, bits_per_frame=1.0,
+    )
+
+
+class TestDiagnoseInfeasibility:
+    def test_clean_instance_no_reasons(self):
+        streams = [_stream(0, 10, 0.02), _stream(1, 5, 0.02)]
+        assert diagnose_infeasibility(streams, 2) == []
+
+    def test_high_rate_stream_flagged(self):
+        streams = [_stream(0, 10, 0.25)]
+        reasons = diagnose_infeasibility(streams, 2)
+        assert any("split" in r for r in reasons)
+
+    def test_overload_flagged(self):
+        streams = [_stream(i, 10, 0.09) for i in range(24)]  # load 21.6
+        reasons = diagnose_infeasibility(streams, 2)
+        assert any("utilization" in r for r in reasons)
+
+    def test_non_harmonic_classes_flagged(self):
+        # periods 1/7, 1/11, 1/13 are pairwise non-harmonic -> 3 classes
+        streams = [_stream(0, 7, 0.01), _stream(1, 11, 0.01), _stream(2, 13, 0.01)]
+        reasons = diagnose_infeasibility(streams, 2)
+        assert any("non-harmonic" in r for r in reasons)
+
+    def test_harmonic_ladder_no_class_flag(self):
+        streams = [_stream(0, 30, 0.001), _stream(1, 15, 0.001), _stream(2, 5, 0.001)]
+        reasons = diagnose_infeasibility(streams, 1)
+        assert not any("non-harmonic" in r for r in reasons)
+
+    def test_invalid_servers(self):
+        with pytest.raises(ValueError):
+            diagnose_infeasibility([], 0)
+
+    def test_empty_streams_clean(self):
+        assert diagnose_infeasibility([], 3) == []
+
+    def test_multiple_reasons_accumulate(self):
+        streams = [
+            _stream(0, 10, 0.25),  # high-rate
+            _stream(1, 7, 0.2),
+            _stream(2, 11, 0.2),
+            _stream(3, 13, 0.2),
+        ]
+        reasons = diagnose_infeasibility(streams, 2)
+        assert len(reasons) >= 2

@@ -1,0 +1,170 @@
+"""Tests for Const1/Const2 and Theorems 1–3, incl. simulator cross-checks.
+
+The crown property: any grouping satisfying Theorem 1's premise, run
+through the discrete-event simulator with staggered offsets, measures
+exactly zero queueing delay.  And Theorem 2: every Const2-satisfying
+assignment also satisfies Const1.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sched import (
+    PeriodicStream,
+    const1_satisfied,
+    const2_satisfied,
+    stagger_offsets,
+    theorem1_zero_jitter,
+    theorem3_conditions,
+    utilization,
+)
+from repro.sim import EdgeCluster, StreamSpec
+
+
+def _stream(sid, fps, p):
+    return PeriodicStream(
+        stream_id=sid, fps=fps, resolution=960.0, processing_time=p, bits_per_frame=1.0
+    )
+
+
+# Strategy: harmonic groups built from a base fps and integer multipliers,
+# with processing times scaled to respect (or violate) the budget.
+@st.composite
+def harmonic_group(draw, satisfy=True):
+    base_fps = draw(st.sampled_from([1, 2, 5, 10, 25]))
+    t_min = 1.0 / base_fps
+    n = draw(st.integers(1, 4))
+    mults = draw(st.lists(st.integers(1, 6), min_size=n, max_size=n))
+    fractions = draw(
+        st.lists(st.floats(0.05, 0.95), min_size=n, max_size=n)
+    )
+    total = sum(fractions)
+    budget = t_min * (0.9 if satisfy else 1.5)
+    ps = [budget * f / total for f in fractions]
+    return [
+        _stream(i, base_fps / m, p) for i, (m, p) in enumerate(zip(mults, ps))
+    ]
+
+
+class TestConstraints:
+    def test_const1_simple(self):
+        streams = [_stream(0, 10, 0.05), _stream(1, 10, 0.04)]
+        assert const1_satisfied(streams, [0, 0])
+
+    def test_const1_violated(self):
+        streams = [_stream(0, 10, 0.08), _stream(1, 10, 0.08)]
+        assert not const1_satisfied(streams, [0, 0])
+
+    def test_const1_separate_servers_ok(self):
+        streams = [_stream(0, 10, 0.08), _stream(1, 10, 0.08)]
+        assert const1_satisfied(streams, [0, 1])
+
+    def test_const2_harmonic_within_budget(self):
+        # T = 0.1 and 0.2, gcd = 0.1, sum p = 0.08
+        streams = [_stream(0, 10, 0.05), _stream(1, 5, 0.03)]
+        assert const2_satisfied(streams, [0, 0])
+
+    def test_const2_violated_by_nonharmonic(self):
+        # T = 0.3, 0.4 -> gcd 0.1 < p sum 0.15
+        streams = [_stream(0, 1 / 0.3, 0.08), _stream(1, 2.5, 0.07)]
+        assert not const2_satisfied(streams, [0, 0])
+
+    def test_dropped_streams_ignored(self):
+        streams = [_stream(0, 10, 0.5), _stream(1, 10, 0.05)]
+        assert const1_satisfied(streams, [-1, 0])
+
+    def test_utilization_per_server(self):
+        streams = [_stream(0, 10, 0.05), _stream(1, 5, 0.1)]
+        u = utilization(streams, [0, 1])
+        assert u[0] == pytest.approx(0.5)
+        assert u[1] == pytest.approx(0.5)
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            const1_satisfied([_stream(0, 10, 0.05)], [0, 1])
+
+
+class TestTheorem2:
+    """Const2 ⇒ Const1."""
+
+    @given(harmonic_group(satisfy=True))
+    @settings(max_examples=50, deadline=None)
+    def test_const2_implies_const1(self, group):
+        assignment = [0] * len(group)
+        if const2_satisfied(group, assignment):
+            assert const1_satisfied(group, assignment)
+
+
+class TestTheorem3:
+    def test_conditions_imply_const2(self):
+        group = [_stream(0, 10, 0.04), _stream(1, 5, 0.05)]
+        assert theorem3_conditions(group)
+        assert const2_satisfied(group, [0, 0])
+
+    def test_nonharmonic_fails(self):
+        group = [_stream(0, 1 / 0.3, 0.01), _stream(1, 2.5, 0.01)]
+        assert not theorem3_conditions(group)
+
+    def test_over_budget_fails(self):
+        group = [_stream(0, 10, 0.06), _stream(1, 5, 0.06)]
+        assert not theorem3_conditions(group)
+
+    def test_empty_group(self):
+        assert theorem3_conditions([])
+
+    @given(harmonic_group(satisfy=True))
+    @settings(max_examples=50, deadline=None)
+    def test_theorem3_implies_const2(self, group):
+        if theorem3_conditions(group):
+            assert const2_satisfied(group, [0] * len(group))
+
+
+class TestTheorem1ZeroJitterInSimulator:
+    """The simulator validates the zero-jitter proof end to end."""
+
+    def _run_group(self, group, horizon=10.0):
+        offsets = stagger_offsets(group)
+        specs = [
+            StreamSpec(
+                stream_id=s.stream_id,
+                fps=s.fps,
+                processing_time=s.processing_time,
+                bits_per_frame=1e-6,  # negligible uplink time
+                offset=o,
+            )
+            for s, o in zip(group, offsets)
+        ]
+        cluster = EdgeCluster([1e6])
+        return cluster.run(specs, [0] * len(specs), horizon)
+
+    def test_example_zero_jitter(self):
+        group = [_stream(0, 5, 0.05), _stream(1, 2.5, 0.05)]
+        assert theorem1_zero_jitter(group)
+        rep = self._run_group(group)
+        assert rep.max_jitter == pytest.approx(0.0, abs=1e-9)
+
+    @given(harmonic_group(satisfy=True))
+    @settings(max_examples=25, deadline=None)
+    def test_property_const2_gives_zero_jitter(self, group):
+        if not theorem1_zero_jitter(group):
+            return  # premise not met for this draw
+        rep = self._run_group(group, horizon=5.0)
+        assert rep.max_jitter <= 1e-9
+
+    def test_violating_group_shows_jitter(self):
+        # Deliberately violate Const2: same period, combined p > T.
+        group = [_stream(0, 5, 0.12), _stream(1, 5, 0.12)]
+        assert not theorem1_zero_jitter(group)
+        # Without stagger they collide at t=0.
+        specs = [
+            StreamSpec(s.stream_id, s.fps, s.processing_time, 1e-6)
+            for s in group
+        ]
+        rep = EdgeCluster([1e6]).run(specs, [0, 0], 5.0)
+        assert rep.max_jitter > 0.0
+
+    def test_stagger_offsets_cumulative(self):
+        group = [_stream(0, 5, 0.05), _stream(1, 5, 0.03), _stream(2, 5, 0.02)]
+        assert stagger_offsets(group) == [0.0, 0.05, pytest.approx(0.08)]

@@ -1,0 +1,78 @@
+"""Tests for server degradation (failure injection) in the simulator."""
+
+import numpy as np
+import pytest
+
+from repro.sim import EdgeCluster, StreamSpec
+from repro.sim.events import EventQueue
+from repro.sim.server import EdgeServer, QueuedFrame
+
+
+class TestSpeedFactor:
+    def test_default_nominal(self):
+        srv = EdgeServer(0, EventQueue())
+        assert srv.speed_factor == 1.0
+
+    def test_slowdown_stretches_processing(self):
+        q = EventQueue()
+        srv = EdgeServer(0, q)
+        srv.set_speed_factor(0.5)
+        srv.submit(QueuedFrame(0, 1, 0.0, 0.0, 0.1))
+        q.run()
+        assert srv.completed[0].finish_time == pytest.approx(0.2)
+
+    def test_speedup_shrinks_processing(self):
+        q = EventQueue()
+        srv = EdgeServer(0, q)
+        srv.set_speed_factor(2.0)
+        srv.submit(QueuedFrame(0, 1, 0.0, 0.0, 0.1))
+        q.run()
+        assert srv.completed[0].finish_time == pytest.approx(0.05)
+
+    def test_busy_time_reflects_effective_duration(self):
+        q = EventQueue()
+        srv = EdgeServer(0, q)
+        srv.set_speed_factor(0.5)
+        srv.submit(QueuedFrame(0, 1, 0.0, 0.0, 0.1))
+        q.run()
+        assert srv.busy_time == pytest.approx(0.2)
+
+    def test_invalid_factor(self):
+        srv = EdgeServer(0, EventQueue())
+        with pytest.raises(ValueError):
+            srv.set_speed_factor(0.0)
+
+    def test_scheduled_slowdown_mid_run(self):
+        """Frames before t=1 run at speed; frames after run at half."""
+        q = EventQueue()
+        srv = EdgeServer(0, q)
+        srv.schedule_slowdown(1.0, 0.5)
+        q.schedule(0.0, lambda: srv.submit(QueuedFrame(0, 1, 0, 0, 0.1)))
+        q.schedule(2.0, lambda: srv.submit(QueuedFrame(0, 2, 2, 2, 0.1)))
+        q.run()
+        first, second = srv.completed
+        assert first.finish_time == pytest.approx(0.1)
+        assert second.finish_time == pytest.approx(2.2)
+
+
+class TestDegradationEndToEnd:
+    def test_slowdown_breaks_zero_jitter_schedule(self):
+        """A schedule that is zero-jitter at nominal speed accumulates
+        queueing delay once the server throttles — the exact drift the
+        online scheduler is built to catch."""
+        specs = [
+            StreamSpec(0, fps=5.0, processing_time=0.08, bits_per_frame=1e-3, offset=0.0),
+            StreamSpec(1, fps=5.0, processing_time=0.08, bits_per_frame=1e-3, offset=0.08),
+        ]
+        nominal = EdgeCluster([1e6])
+        rep = nominal.run(specs, [0, 0], 6.0)
+        assert rep.max_jitter < 1e-9
+
+        throttled = EdgeCluster([1e6])
+        throttled.servers[0].schedule_slowdown(2.0, 0.5)
+        rep2 = throttled.run(specs, [0, 0], 6.0)
+        assert rep2.max_jitter > 0.01
+        # latency before the throttle unaffected
+        assert rep2.streams[0].latencies[0] == pytest.approx(
+            rep.streams[0].latencies[0], abs=1e-9
+        )

@@ -1,0 +1,135 @@
+"""Tests for EdgeServer and UplinkLink."""
+
+import pytest
+
+from repro.sim.events import EventQueue
+from repro.sim.network import UplinkLink
+from repro.sim.server import EdgeServer, QueuedFrame
+from repro.video.profiles import DeviceProfile
+
+
+def _frame(sid, fid, t_emit, t_arr, p, done=None):
+    return QueuedFrame(
+        stream_id=sid,
+        frame_id=fid,
+        emit_time=t_emit,
+        arrival_time=t_arr,
+        processing_time=p,
+        on_done=done,
+    )
+
+
+class TestEdgeServer:
+    def test_single_frame_no_queueing(self):
+        q = EventQueue()
+        srv = EdgeServer(0, q)
+        srv.submit(_frame(0, 1, 0.0, 0.0, 0.1))
+        q.run()
+        fr = srv.completed[0]
+        assert fr.queueing_delay == pytest.approx(0.0)
+        assert fr.finish_time == pytest.approx(0.1)
+
+    def test_fifo_order_and_queueing_delay(self):
+        q = EventQueue()
+        srv = EdgeServer(0, q)
+
+        def submit_both():
+            srv.submit(_frame(0, 1, 0.0, 0.0, 0.2))
+            srv.submit(_frame(1, 1, 0.0, 0.0, 0.1))
+
+        q.schedule(0.0, submit_both)
+        q.run()
+        first, second = srv.completed
+        assert first.stream_id == 0
+        assert second.queueing_delay == pytest.approx(0.2)
+        assert second.finish_time == pytest.approx(0.3)
+
+    def test_busy_time_accumulates(self):
+        q = EventQueue()
+        srv = EdgeServer(0, q)
+        q.schedule(0.0, lambda: srv.submit(_frame(0, 1, 0, 0, 0.3)))
+        q.schedule(1.0, lambda: srv.submit(_frame(0, 2, 1, 1, 0.2)))
+        q.run()
+        assert srv.busy_time == pytest.approx(0.5)
+        assert srv.frames_processed == 2
+
+    def test_utilization_and_energy(self):
+        q = EventQueue()
+        prof = DeviceProfile(idle_power=4.0, compute_power=10.0)
+        srv = EdgeServer(0, q, profile=prof)
+        q.schedule(0.0, lambda: srv.submit(_frame(0, 1, 0, 0, 0.5)))
+        q.run()
+        assert srv.utilization(2.0) == pytest.approx(0.25)
+        assert srv.energy_consumed(2.0) == pytest.approx(4.0 * 2.0 + 10.0 * 0.5)
+
+    def test_on_done_callback(self):
+        q = EventQueue()
+        srv = EdgeServer(0, q)
+        seen = []
+        srv.submit(_frame(0, 1, 0, 0, 0.1, done=lambda fr, t: seen.append(t)))
+        q.run()
+        assert seen == [pytest.approx(0.1)]
+
+    def test_arrival_during_processing_waits(self):
+        q = EventQueue()
+        srv = EdgeServer(0, q)
+        q.schedule(0.0, lambda: srv.submit(_frame(0, 1, 0, 0, 1.0)))
+        q.schedule(0.5, lambda: srv.submit(_frame(1, 1, 0.5, 0.5, 0.1)))
+        q.run()
+        second = srv.completed[1]
+        assert second.start_time == pytest.approx(1.0)
+        assert second.queueing_delay == pytest.approx(0.5)
+
+    def test_invalid_processing_time(self):
+        q = EventQueue()
+        srv = EdgeServer(0, q)
+        with pytest.raises(ValueError):
+            srv.submit(_frame(0, 1, 0, 0, 0.0))
+
+
+class TestUplinkLink:
+    def test_transfer_time(self):
+        q = EventQueue()
+        link = UplinkLink(0, 10.0, q)  # 10 Mbps
+        assert link.transfer_time(1e6) == pytest.approx(0.1)
+
+    def test_delivery_scheduled(self):
+        q = EventQueue()
+        link = UplinkLink(0, 10.0, q)
+        arrivals = []
+        link.send(1e6, arrivals.append)
+        q.run()
+        assert arrivals == [pytest.approx(0.1)]
+
+    def test_fifo_serialization(self):
+        q = EventQueue()
+        link = UplinkLink(0, 10.0, q)
+        arrivals = []
+
+        def send_two():
+            link.send(1e6, arrivals.append)
+            link.send(1e6, arrivals.append)
+
+        q.schedule(0.0, send_two)
+        q.run()
+        assert arrivals == [pytest.approx(0.1), pytest.approx(0.2)]
+
+    def test_idle_gap_not_counted(self):
+        q = EventQueue()
+        link = UplinkLink(0, 10.0, q)
+        arrivals = []
+        q.schedule(0.0, lambda: link.send(1e6, arrivals.append))
+        q.schedule(5.0, lambda: link.send(1e6, arrivals.append))
+        q.run()
+        assert arrivals[1] == pytest.approx(5.1)
+
+    def test_mean_throughput(self):
+        q = EventQueue()
+        link = UplinkLink(0, 10.0, q)
+        q.schedule(0.0, lambda: link.send(5e6, lambda t: None))
+        q.run()
+        assert link.mean_throughput(1.0) == pytest.approx(5.0)
+
+    def test_invalid_bandwidth(self):
+        with pytest.raises(ValueError):
+            UplinkLink(0, 0.0, EventQueue())

@@ -1,0 +1,124 @@
+"""Tests for bandwidth traces and frame trace recording."""
+
+import numpy as np
+import pytest
+
+from repro.sim import (
+    BandwidthTrace,
+    EdgeServer,
+    FrameTraceRecorder,
+    TracedUplinkLink,
+)
+from repro.sim.events import EventQueue
+from repro.sim.server import QueuedFrame
+
+
+class TestBandwidthTrace:
+    def test_constant(self):
+        t = BandwidthTrace.constant(20.0)
+        assert t.at(0.0) == 20.0
+        assert t.at(100.0) == 20.0
+
+    def test_piecewise_lookup(self):
+        t = BandwidthTrace([0.0, 5.0, 10.0], [10.0, 20.0, 5.0])
+        assert t.at(0.0) == 10.0
+        assert t.at(4.999) == 10.0
+        assert t.at(5.0) == 20.0
+        assert t.at(12.0) == 5.0
+
+    def test_must_start_at_zero(self):
+        with pytest.raises(ValueError):
+            BandwidthTrace([1.0], [10.0])
+
+    def test_times_strictly_increasing(self):
+        with pytest.raises(ValueError):
+            BandwidthTrace([0.0, 0.0], [10.0, 20.0])
+
+    def test_positive_values(self):
+        with pytest.raises(ValueError):
+            BandwidthTrace([0.0], [0.0])
+
+    def test_negative_time_raises(self):
+        with pytest.raises(ValueError):
+            BandwidthTrace.constant(10.0).at(-1.0)
+
+    def test_random_walk_bounds(self):
+        t = BandwidthTrace.random_walk(60.0, lo=5.0, hi=30.0, rng=0)
+        assert np.all(t.values >= 5.0) and np.all(t.values <= 30.0)
+        assert t.times[0] == 0.0
+        assert t.times[-1] >= 60.0
+
+    def test_random_walk_deterministic(self):
+        a = BandwidthTrace.random_walk(10.0, rng=3)
+        b = BandwidthTrace.random_walk(10.0, rng=3)
+        np.testing.assert_array_equal(a.values, b.values)
+
+
+class TestTracedUplinkLink:
+    def test_transfer_uses_bandwidth_at_start(self):
+        q = EventQueue()
+        trace = BandwidthTrace([0.0, 1.0], [10.0, 100.0])
+        link = TracedUplinkLink(0, trace, q)
+        arrivals = []
+        # 1 Mb at t=0: 10 Mbps -> 0.1 s
+        q.schedule(0.0, lambda: link.send(1e6, arrivals.append))
+        # 1 Mb at t=2: 100 Mbps -> 0.01 s
+        q.schedule(2.0, lambda: link.send(1e6, arrivals.append))
+        q.run()
+        assert arrivals[0] == pytest.approx(0.1)
+        assert arrivals[1] == pytest.approx(2.01)
+
+    def test_degradation_slows_delivery(self):
+        q = EventQueue()
+        trace = BandwidthTrace([0.0, 1.0], [100.0, 1.0])
+        link = TracedUplinkLink(0, trace, q)
+        arrivals = []
+        q.schedule(1.5, lambda: link.send(1e6, arrivals.append))
+        q.run()
+        assert arrivals[0] == pytest.approx(2.5)  # 1 Mb at 1 Mbps
+
+
+class TestFrameTraceRecorder:
+    def _run_with_recorder(self):
+        q = EventQueue()
+        srv = EdgeServer(0, q)
+        rec = FrameTraceRecorder()
+        for i, t in enumerate((0.0, 0.5, 1.0)):
+            q.schedule(
+                t,
+                lambda i=i, t=t: srv.submit(
+                    QueuedFrame(
+                        0, i + 1, t, t, 0.1, on_done=lambda fr, _t: rec.record(fr)
+                    )
+                ),
+            )
+        q.run()
+        return rec
+
+    def test_records_all_frames(self):
+        rec = self._run_with_recorder()
+        assert len(rec) == 3
+
+    def test_event_fields(self):
+        rec = self._run_with_recorder()
+        ev = rec.events[0]
+        assert ev.e2e_latency == pytest.approx(0.1)
+        assert ev.queueing_delay == pytest.approx(0.0)
+
+    def test_to_arrays(self):
+        rec = self._run_with_recorder()
+        arrs = rec.to_arrays()
+        assert arrs["emit_time"].shape == (3,)
+        np.testing.assert_allclose(arrs["emit_time"], [0.0, 0.5, 1.0])
+
+    def test_summary(self):
+        rec = self._run_with_recorder()
+        s = rec.summary()
+        assert s["n_frames"] == 3.0
+        assert s["mean_latency"] == pytest.approx(0.1)
+        assert s["max_queueing_delay"] == pytest.approx(0.0)
+
+    def test_empty_recorder(self):
+        rec = FrameTraceRecorder()
+        assert rec.summary() == {"n_frames": 0.0}
+        assert rec.to_arrays()["emit_time"].shape == (0,)

@@ -1,0 +1,97 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+
+
+class TestInfo:
+    def test_info_prints_inventory(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "PaMO" in out and "ltc" in out
+
+
+class TestOptimize:
+    def test_random_method(self, capsys):
+        rc = main(
+            ["optimize", "--streams", "3", "--servers", "2", "--method", "random"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "true benefit" in out
+        assert "stream" in out
+
+    def test_jcab_method(self, capsys):
+        assert main(["optimize", "--streams", "3", "--servers", "2",
+                     "--method", "jcab"]) == 0
+
+    def test_fact_with_explicit_bandwidths(self, capsys):
+        rc = main(
+            [
+                "optimize", "--streams", "2", "--servers", "2",
+                "--bandwidths", "10,30", "--method", "fact",
+            ]
+        )
+        assert rc == 0
+        assert "10.0" in capsys.readouterr().out
+
+    def test_weighted_with_custom_weights(self, capsys):
+        rc = main(
+            [
+                "optimize", "--streams", "2", "--servers", "2",
+                "--weights", "1,2,0.5,1,1", "--method", "weighted",
+            ]
+        )
+        assert rc == 0
+
+    def test_bandwidth_count_mismatch_errors(self, capsys):
+        rc = main(
+            ["optimize", "--servers", "3", "--bandwidths", "10,20",
+             "--method", "random"]
+        )
+        assert rc == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_unknown_method_errors(self, capsys):
+        rc = main(["optimize", "--method", "skynet"])
+        assert rc == 2
+
+
+class TestFigure:
+    def test_fig4(self, capsys):
+        assert main(["figure", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "Algorithm 1 jitter" in out
+
+    def test_fig3_quick(self, capsys):
+        assert main(["figure", "3", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "Pareto front size" in out
+
+    def test_fig9_quick(self, capsys):
+        assert main(["figure", "9", "--quick"]) == 0
+        assert "accuracy" in capsys.readouterr().out
+
+    def test_unknown_figure_errors(self, capsys):
+        assert main(["figure", "99"]) == 2
+
+    def test_output_flag_writes_json(self, capsys, tmp_path):
+        out_path = tmp_path / "fig4.json"
+        assert main(["figure", "4", "--output", str(out_path)]) == 0
+        assert out_path.exists()
+        from repro.bench import load_results
+
+        data = load_results(out_path)
+        assert "algorithm1_jitter" in data

@@ -1,0 +1,130 @@
+"""Tests for camera-side frame filtering and ROI encoding (§6 extensions)."""
+
+import numpy as np
+import pytest
+
+from repro.video import (
+    EncoderModel,
+    FrameDifferenceFilter,
+    SceneConfig,
+    effective_stream_load,
+    generate_clip,
+    roi_bits_per_frame,
+)
+
+
+class TestFrameDifferenceFilter:
+    def test_identical_frames_no_change(self):
+        f = FrameDifferenceFilter()
+        boxes = np.array([[0, 0, 10, 10]])
+        assert f.change_score(boxes, boxes) == pytest.approx(0.0)
+
+    def test_empty_to_empty_no_change(self):
+        f = FrameDifferenceFilter()
+        assert f.change_score(np.zeros((0, 4)), np.zeros((0, 4))) == 0.0
+
+    def test_appearance_is_full_change(self):
+        f = FrameDifferenceFilter()
+        assert f.change_score(np.zeros((0, 4)), np.array([[0, 0, 10, 10]])) == 1.0
+
+    def test_motion_increases_change(self):
+        f = FrameDifferenceFilter()
+        a = np.array([[0, 0, 10, 10]])
+        small_move = np.array([[1, 0, 11, 10]])
+        big_move = np.array([[50, 50, 60, 60]])
+        assert f.change_score(a, big_move) > f.change_score(a, small_move)
+
+    def test_first_frame_always_sent(self):
+        clip = generate_clip(SceneConfig(speed=0.0), n_frames=10, rng=0)
+        mask = FrameDifferenceFilter(threshold=0.99).select_frames(clip)
+        assert mask[0]
+
+    def test_static_scene_sends_little(self):
+        clip = generate_clip(SceneConfig(speed=0.001, n_objects=5), n_frames=60, rng=0)
+        f = FrameDifferenceFilter(threshold=0.3)
+        assert f.effective_fps(clip) < 0.3 * clip.config.native_fps
+
+    def test_fast_scene_sends_more_than_slow(self):
+        slow = generate_clip(SceneConfig(speed=0.5, n_objects=8), n_frames=60, rng=0)
+        fast = generate_clip(SceneConfig(speed=25.0, n_objects=8), n_frames=60, rng=0)
+        f = FrameDifferenceFilter(threshold=0.25)
+        assert f.effective_fps(fast) > f.effective_fps(slow)
+
+    def test_threshold_zero_sends_everything(self):
+        clip = generate_clip(n_frames=20, rng=0)
+        mask = FrameDifferenceFilter(threshold=0.0).select_frames(clip)
+        assert mask.all()
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            FrameDifferenceFilter(threshold=1.5)
+
+
+class TestRoiBits:
+    def test_empty_frame_background_only(self):
+        enc = EncoderModel()
+        bits = roi_bits_per_frame(np.zeros((0, 4)), 960.0, encoder=enc)
+        assert bits == pytest.approx(0.08 * enc.bits_per_frame(960.0))
+
+    def test_roi_cheaper_than_full_frame(self):
+        enc = EncoderModel()
+        boxes = np.array([[100, 100, 300, 300]])
+        bits = roi_bits_per_frame(boxes, 960.0, encoder=enc)
+        assert bits < enc.bits_per_frame(960.0)
+
+    def test_full_coverage_equals_full_frame(self):
+        enc = EncoderModel()
+        boxes = np.array([[0, 0, 1920, 1080]])
+        bits = roi_bits_per_frame(boxes, 960.0, encoder=enc, padding=0.0)
+        assert bits == pytest.approx(enc.bits_per_frame(960.0))
+
+    def test_more_objects_more_bits(self):
+        one = roi_bits_per_frame(np.array([[0, 0, 100, 100]]), 960.0)
+        many = roi_bits_per_frame(
+            np.array([[0, 0, 100, 100], [500, 500, 700, 700]]), 960.0
+        )
+        assert many > one
+
+    def test_invalid_quality(self):
+        with pytest.raises(ValueError):
+            roi_bits_per_frame(np.zeros((0, 4)), 960.0, background_quality=2.0)
+
+
+class TestEffectiveStreamLoad:
+    def test_no_reduction_passthrough(self):
+        clip = generate_clip(n_frames=30, rng=0)
+        enc = EncoderModel()
+        fps, bits = effective_stream_load(clip, 960.0, 15.0, encoder=enc)
+        assert fps == 15.0
+        assert bits == pytest.approx(
+            enc.bits_per_frame(960.0, texture=clip.config.texture)
+        )
+
+    def test_filter_caps_fps(self):
+        clip = generate_clip(SceneConfig(speed=0.01), n_frames=60, rng=0)
+        f = FrameDifferenceFilter(threshold=0.3)
+        fps, _ = effective_stream_load(clip, 960.0, 30.0, frame_filter=f)
+        assert fps < 30.0
+
+    def test_roi_reduces_bits(self):
+        clip = generate_clip(SceneConfig(n_objects=4, object_size=60), n_frames=20, rng=0)
+        _, plain = effective_stream_load(clip, 960.0, 15.0)
+        _, roi = effective_stream_load(clip, 960.0, 15.0, roi=True)
+        assert roi < plain
+
+    def test_combined_reduction_fits_scheduler_abstraction(self):
+        """Reduced streams slot into the scheduling stack unchanged."""
+        from repro.sched import PeriodicStream
+        from repro.video.profiles import JETSON_NX_PROFILE
+
+        clip = generate_clip(SceneConfig(speed=2.0), n_frames=40, rng=0)
+        f = FrameDifferenceFilter(threshold=0.2)
+        fps, bits = effective_stream_load(clip, 960.0, 30.0, frame_filter=f, roi=True)
+        s = PeriodicStream(
+            stream_id=0,
+            fps=fps,
+            resolution=960.0,
+            processing_time=JETSON_NX_PROFILE.processing_time(960.0),
+            bits_per_frame=bits,
+        )
+        assert s.load < JETSON_NX_PROFILE.processing_time(960.0) * 30.0
