@@ -26,7 +26,7 @@ def test_ablation_batch_size(benchmark):
             vals = []
             for seed in range(2):
                 kw = dict(FAST_PAMO_KWARGS)
-                kw.update(batch_size=b, max_iters=total_budget // b, delta=1e-9)
+                kw.update(batch_size=b, n_iterations=total_budget // b, delta=1e-9)
                 out = PaMOPlus(
                     problem, DecisionMaker(pref, rng=seed), rng=seed, **kw
                 ).optimize()

@@ -32,14 +32,14 @@ def test_online_drift_recovery(benchmark):
             return env_problem(epoch).evaluate(decision.resolutions, decision.fps)
 
         # (a) static: optimize once at epoch 0, never re-plan
-        static_dec = RandomSearch(normal, pref.value, n_samples=80, rng=0).optimize().decision
+        static_dec = RandomSearch(normal, benefit_fn=pref.value, n_iterations=80, rng=0).optimize().decision
         static_benefit = [
             float(pref.value(environment(static_dec, e))) for e in range(n_epochs)
         ]
 
         # (b) adaptive: OnlineScheduler with the same search budget per plan
         def factory(prob, epoch):
-            return RandomSearch(env_problem(epoch), pref.value, n_samples=80, rng=epoch)
+            return RandomSearch(env_problem(epoch), benefit_fn=pref.value, n_iterations=80, rng=epoch)
 
         online = OnlineScheduler(
             normal,

@@ -1,0 +1,90 @@
+"""Guard: disabled telemetry must add <2% to a small PaMO run.
+
+The hot paths (BO loop, surrogate refits, simulator) are instrumented
+unconditionally, so the disabled fast path — one attribute check and a
+branch per call — has a hard budget.  This bench (1) times a small
+PaMO run with telemetry off, (2) counts how many telemetry API calls
+that run actually makes, (3) measures the per-call cost of the
+disabled path in a tight loop, and asserts that the run's total
+instrumentation cost stays under 2% of its wall-clock.
+"""
+
+import time
+
+from conftest import run_once
+from repro.bench.harness import make_problem, run_method
+from repro.core import make_preference
+from repro.obs import telemetry
+
+TINY_PAMO = dict(
+    n_profile=30,
+    n_outcome_space=16,
+    n_init_comparisons=2,
+    n_pref_queries=6,
+    batch_size=2,
+    n_iterations=4,
+    n_pool=12,
+    n_mc_samples=16,
+)
+
+
+def _count_disabled_calls(fn) -> int:
+    """Run ``fn`` with the registry's API wrapped in counting shims."""
+    calls = {"n": 0}
+    originals = {}
+    for name in ("span", "counter", "gauge", "event"):
+        orig = getattr(telemetry, name)
+        originals[name] = orig
+
+        def shim(*args, _orig=orig, **kwargs):
+            calls["n"] += 1
+            return _orig(*args, **kwargs)
+
+        setattr(telemetry, name, shim)
+    try:
+        fn()
+    finally:
+        for name in originals:
+            delattr(telemetry, name)  # uncover the bound methods
+    return calls["n"]
+
+
+def test_telemetry_overhead(benchmark):
+    def run():
+        assert not telemetry.enabled
+        problem = make_problem(4, 3, rng=0)
+        pref = make_preference(problem)
+
+        t0 = time.perf_counter()
+        run_method("PaMO", problem, pref, seed=0, pamo_kwargs=TINY_PAMO)
+        run_s = time.perf_counter() - t0
+
+        n_calls = _count_disabled_calls(
+            lambda: run_method(
+                "PaMO", problem, pref, seed=0, pamo_kwargs=TINY_PAMO
+            )
+        )
+
+        m = 200_000
+        t0 = time.perf_counter()
+        for _ in range(m):
+            with telemetry.span("bench"):
+                pass
+            telemetry.counter("bench")
+        per_call = (time.perf_counter() - t0) / (2 * m)
+
+        overhead_s = n_calls * per_call
+        return run_s, n_calls, overhead_s
+
+    run_s, n_calls, overhead_s = run_once(benchmark, run)
+    print()
+    print(
+        f"small PaMO run: {run_s:.3f}s, {n_calls} telemetry calls, "
+        f"estimated disabled-path cost {overhead_s * 1e3:.3f} ms "
+        f"({100 * overhead_s / run_s:.4f}%)"
+    )
+    assert n_calls > 0, "PaMO run hit no instrumentation sites"
+    assert overhead_s < 0.02 * run_s, (
+        f"disabled telemetry costs {100 * overhead_s / run_s:.2f}% "
+        f"of a small PaMO run (budget: 2%)"
+    )

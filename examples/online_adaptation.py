@@ -43,7 +43,7 @@ def main() -> None:
 
     def factory(prob, epoch):
         active = degraded_problem if 3 <= epoch <= 6 else problem
-        return RandomSearch(active, pref.value, n_samples=60, rng=epoch)
+        return RandomSearch(active, benefit_fn=pref.value, n_iterations=60, rng=epoch)
 
     online = OnlineScheduler(
         problem,

@@ -31,7 +31,7 @@ def learning_curve(eubo: bool, seed: int, checkpoints) -> list[float]:
     outcomes = np.stack(
         [problem.evaluate(*problem.sample_decision(gen)) for _ in range(40)]
     )
-    learner = PreferenceLearner(outcomes, dm, rng=seed)
+    learner = PreferenceLearner(outcomes, decision_maker=dm, rng=seed)
     learner.initialize(3)
     test_pairs = sample_test_pairs(outcomes, 400, rng=999)
 
@@ -80,7 +80,7 @@ def main() -> None:
             outcomes = np.stack(
                 [problem.evaluate(*problem.sample_decision(gen)) for _ in range(40)]
             )
-            learner = PreferenceLearner(outcomes, dm, rng=s).initialize(3)
+            learner = PreferenceLearner(outcomes, decision_maker=dm, rng=s).initialize(3)
             for _ in range(15):
                 if eubo:
                     learner.query_step()

@@ -28,7 +28,7 @@ def main() -> None:
     decision_maker = DecisionMaker(true_pref, rng=0)
 
     # --- run PaMO -----------------------------------------------------------
-    pamo = PaMO(problem, decision_maker, rng=0, max_iters=10, delta=0.01)
+    pamo = PaMO(problem, decision_maker=decision_maker, rng=0, n_iterations=10, delta=0.01)
     result = pamo.optimize()
     d = result.decision
     print("PaMO recommendation")

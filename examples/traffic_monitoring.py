@@ -47,7 +47,7 @@ def main() -> None:
         print(f"\n=== {regime} ===")
         pref = make_preference(problem, weights=weights)
         dm = DecisionMaker(pref, rng=0)
-        pamo_out = PaMO(problem, dm, rng=0, max_iters=8).optimize()
+        pamo_out = PaMO(problem, decision_maker=dm, rng=0, n_iterations=8).optimize()
 
         rows = []
         d = pamo_out.decision

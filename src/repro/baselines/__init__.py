@@ -22,10 +22,18 @@ from repro.baselines.weights import (
 )
 from repro.baselines.search import RandomSearch, pareto_front, exhaustive_best
 from repro.baselines.weighted import WeightedSumScheduler
+from repro.baselines.registry import (
+    available_schedulers,
+    make_scheduler,
+    register_scheduler,
+)
 
 __all__ = [
     "JCAB",
     "FACT",
+    "available_schedulers",
+    "make_scheduler",
+    "register_scheduler",
     "equal_weights",
     "roc_weights",
     "rank_sum_weights",

@@ -23,10 +23,14 @@ import numpy as np
 
 from repro.core.problem import EVAProblem
 from repro.core.result import OptimizationOutcome, ScheduleDecision
+from repro.core.scheduler import SchedulerMixin
+from repro.obs import telemetry
 from repro.utils import check_positive
+from repro.utils.compat import resolve_deprecated
+from repro.utils.rng import RngLike
 
 
-class FACT:
+class FACT(SchedulerMixin):
     """BCD over (resolution, allocation) for weighted latency+accuracy.
 
     Parameters
@@ -34,8 +38,12 @@ class FACT:
     w_ltc, w_acc:
         Objective weights: minimize ``w_ltc·ltc̄ + w_acc·(1 − acc)``
         with latency max-normalized across the knob range.
-    max_sweeps:
-        BCD sweep budget (typically converges in 2–4).
+    n_iterations:
+        BCD sweep budget (typically converges in 2–4); ``max_sweeps``
+        is the deprecated alias.
+    rng:
+        Accepted for cross-scheduler API consistency; FACT itself is
+        deterministic and never draws from it.
     """
 
     method_name = "FACT"
@@ -46,13 +54,19 @@ class FACT:
         *,
         w_ltc: float = 1.0,
         w_acc: float = 1.0,
-        max_sweeps: int = 10,
+        n_iterations: int | None = None,
+        max_sweeps: int | None = None,
         tol: float = 0.0,
+        rng: RngLike = None,
     ) -> None:
+        n_iterations = resolve_deprecated(
+            "FACT", "max_sweeps", max_sweeps, "n_iterations", n_iterations,
+            default=10,
+        )
         self.problem = problem
         self.w_ltc = check_positive("w_ltc", w_ltc, strict=False)
         self.w_acc = check_positive("w_acc", w_acc, strict=False)
-        self.max_sweeps = int(check_positive("max_sweeps", max_sweeps))
+        self.n_iterations = int(check_positive("n_iterations", n_iterations))
         self.tol = check_positive("tol", tol, strict=False)
 
         self._res = np.asarray(problem.config_space.resolutions, dtype=float)
@@ -104,14 +118,23 @@ class FACT:
             util[j_best] += load
         return assignment
 
+    @property
+    def max_sweeps(self) -> int:
+        """Deprecated alias of :attr:`n_iterations`."""
+        return self.n_iterations
+
     def optimize(self) -> OptimizationOutcome:
         """Run BCD sweeps to quiescence; returns the final decision."""
+        with telemetry.span("fact.optimize"):
+            return self._optimize()
+
+    def _optimize(self) -> OptimizationOutcome:
         m = self.problem.n_streams
         res_idx = np.full(m, self._res.size - 1, dtype=int)  # start at max res
         assignment = self._reallocate(res_idx)
         history: list[float] = []
 
-        for sweep in range(self.max_sweeps):
+        for sweep in range(self.n_iterations):
             changed = False
             # Block 1: resolutions given allocation (respect capacity).
             util = np.zeros(self.problem.n_servers)
@@ -155,6 +178,6 @@ class FACT:
                 method=self.method_name,
             ),
             n_iterations=len(history),
-            converged=len(history) < self.max_sweeps,
+            converged=len(history) < self.n_iterations,
             history=history,
         )

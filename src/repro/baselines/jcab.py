@@ -24,11 +24,14 @@ import numpy as np
 
 from repro.core.problem import EVAProblem
 from repro.core.result import OptimizationOutcome, ScheduleDecision
+from repro.core.scheduler import SchedulerMixin
+from repro.obs import telemetry
 from repro.utils import as_generator, check_positive
+from repro.utils.compat import resolve_deprecated
 from repro.utils.rng import RngLike
 
 
-class JCAB:
+class JCAB(SchedulerMixin):
     """Lyapunov configuration adaptation with First-Fit placement.
 
     Parameters
@@ -39,8 +42,9 @@ class JCAB:
         Weights of JCAB's two-objective linear benefit.
     v:
         Lyapunov trade-off parameter V (penalty vs queue drift).
-    n_slots:
-        Time slots to iterate (the online algorithm run to quiescence).
+    n_iterations:
+        Time slots to iterate (the online algorithm run to quiescence);
+        ``n_slots`` is the deprecated alias.
     """
 
     method_name = "JCAB"
@@ -52,15 +56,19 @@ class JCAB:
         w_acc: float = 1.0,
         w_eng: float = 1.0,
         v: float = 1.0,
-        n_slots: int = 40,
+        n_iterations: int | None = None,
+        n_slots: int | None = None,
         tol: float = 0.0,
         rng: RngLike = None,
     ) -> None:
+        n_iterations = resolve_deprecated(
+            "JCAB", "n_slots", n_slots, "n_iterations", n_iterations, default=40
+        )
         self.problem = problem
         self.w_acc = check_positive("w_acc", w_acc, strict=False)
         self.w_eng = check_positive("w_eng", w_eng, strict=False)
         self.v = check_positive("v", v)
-        self.n_slots = int(check_positive("n_slots", n_slots))
+        self.n_iterations = int(check_positive("n_iterations", n_iterations))
         self.tol = check_positive("tol", tol, strict=False)
         self._rng = as_generator(rng)
 
@@ -99,8 +107,17 @@ class JCAB:
                 assignment.append(j)
         return assignment
 
+    @property
+    def n_slots(self) -> int:
+        """Deprecated alias of :attr:`n_iterations`."""
+        return self.n_iterations
+
     def optimize(self) -> OptimizationOutcome:
         """Run the Lyapunov slot loop; returns the final decision."""
+        with telemetry.span("jcab.optimize"):
+            return self._optimize()
+
+    def _optimize(self) -> OptimizationOutcome:
         m = self.problem.n_streams
         n = self.problem.n_servers
         q = np.zeros(n)  # compute virtual queues
@@ -110,7 +127,7 @@ class JCAB:
         assignment = self._first_fit(self._load[knob_idx])
         history: list[float] = []
 
-        for _ in range(self.n_slots):
+        for _ in range(self.n_iterations):
             # (1) per-stream config: maximize penalty-minus-drift greedily
             for i in range(m):
                 srv = assignment[i]

@@ -1,0 +1,166 @@
+"""Scheduler registry: one construction surface for every optimizer.
+
+``make_scheduler(name, problem, **kw)`` replaces the hand-rolled
+if/elif ladders previously duplicated across the CLI and the bench
+harness.  Factories normalize the differing construction needs:
+
+* the PaMO family needs a decision maker — pass ``decision_maker``
+  directly, or pass ``preference`` and one is built (with the
+  registry's ``rng`` and ``dm_noise``);
+* acquisition-variant names (``pamo_qei`` …) preset ``acquisition``;
+* ``random`` needs a benefit function — pass ``benefit_fn`` or let it
+  fall back to ``preference.value``.
+
+Names are case-insensitive and the paper's spellings ('PaMO+',
+'PaMO_qEI', …) are all registered.  New schedulers self-register with
+:func:`register_scheduler`, so downstream dispatch code never changes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.baselines.fact import FACT
+from repro.baselines.jcab import JCAB
+from repro.baselines.search import RandomSearch
+from repro.baselines.weighted import WeightedSumScheduler
+from repro.core.pamo import PaMO, PaMOPlus
+from repro.core.problem import EVAProblem
+from repro.core.scheduler import Scheduler
+from repro.utils.rng import RngLike
+
+__all__ = ["available_schedulers", "make_scheduler", "register_scheduler"]
+
+#: name (lowercase) -> factory(problem, *, preference, decision_maker,
+#: rng, **kw) -> Scheduler
+_REGISTRY: dict[str, Callable[..., Scheduler]] = {}
+
+
+def register_scheduler(*names: str):
+    """Decorator registering a scheduler factory under ``names``."""
+    if not names:
+        raise ValueError("register_scheduler needs at least one name")
+
+    def deco(factory: Callable[..., Scheduler]) -> Callable[..., Scheduler]:
+        for name in names:
+            key = name.lower()
+            if key in _REGISTRY:
+                raise ValueError(f"scheduler {name!r} already registered")
+            _REGISTRY[key] = factory
+        return factory
+
+    return deco
+
+
+def available_schedulers() -> tuple[str, ...]:
+    """Sorted registered scheduler names (lowercase)."""
+    return tuple(sorted(_REGISTRY))
+
+
+def make_scheduler(
+    name: str,
+    problem: EVAProblem,
+    *,
+    preference=None,
+    decision_maker=None,
+    benefit_fn=None,
+    rng: RngLike = None,
+    dm_noise: float = 0.0,
+    **kwargs,
+) -> Scheduler:
+    """Construct the scheduler registered under ``name`` (case-insensitive).
+
+    ``preference`` / ``decision_maker`` / ``benefit_fn`` are consumed by
+    the factories that need them (and ignored by factories that don't);
+    remaining ``kwargs`` go to the scheduler constructor verbatim.
+    """
+    key = str(name).lower()
+    if key not in _REGISTRY:
+        raise ValueError(
+            f"unknown scheduler {name!r}; choose from {sorted(_REGISTRY)}"
+        )
+    return _REGISTRY[key](
+        problem,
+        preference=preference,
+        decision_maker=decision_maker,
+        benefit_fn=benefit_fn,
+        rng=rng,
+        dm_noise=dm_noise,
+        **kwargs,
+    )
+
+
+def _require_decision_maker(name, preference, decision_maker, rng, dm_noise):
+    if decision_maker is not None:
+        return decision_maker
+    if preference is None:
+        raise ValueError(
+            f"scheduler {name!r} needs 'decision_maker' (or 'preference' "
+            "to build one)"
+        )
+    from repro.pref.decision_maker import DecisionMaker
+
+    return DecisionMaker(preference, noise_scale=dm_noise, rng=rng)
+
+
+def _pamo_factory(cls, acquisition: str | None):
+    def factory(
+        problem,
+        *,
+        preference=None,
+        decision_maker=None,
+        benefit_fn=None,
+        rng=None,
+        dm_noise=0.0,
+        **kw,
+    ):
+        dm = _require_decision_maker(
+            cls.method_name, preference, decision_maker, rng, dm_noise
+        )
+        if acquisition is not None:
+            kw.setdefault("acquisition", acquisition)
+        return cls(problem, decision_maker=dm, rng=rng, **kw)
+
+    return factory
+
+
+for _name, _cls, _acq in (
+    ("pamo", PaMO, None),
+    ("pamo_qei", PaMO, "qEI"),
+    ("pamo_qucb", PaMO, "qUCB"),
+    ("pamo_qsr", PaMO, "qSR"),
+    ("pamo_ts", PaMO, "TS"),
+):
+    register_scheduler(_name)(_pamo_factory(_cls, _acq))
+register_scheduler("pamo+", "pamoplus")(_pamo_factory(PaMOPlus, None))
+
+
+@register_scheduler("jcab")
+def _make_jcab(problem, *, preference=None, decision_maker=None, benefit_fn=None,
+               rng=None, dm_noise=0.0, **kw):
+    return JCAB(problem, rng=rng, **kw)
+
+
+@register_scheduler("fact")
+def _make_fact(problem, *, preference=None, decision_maker=None, benefit_fn=None,
+               rng=None, dm_noise=0.0, **kw):
+    return FACT(problem, rng=rng, **kw)
+
+
+@register_scheduler("weighted", "weightedsum")
+def _make_weighted(problem, *, preference=None, decision_maker=None,
+                   benefit_fn=None, rng=None, dm_noise=0.0, **kw):
+    return WeightedSumScheduler(problem, rng=rng, **kw)
+
+
+@register_scheduler("random", "randomsearch")
+def _make_random(problem, *, preference=None, decision_maker=None,
+                 benefit_fn=None, rng=None, dm_noise=0.0, **kw):
+    if benefit_fn is None:
+        if preference is None:
+            raise ValueError(
+                "scheduler 'random' needs 'benefit_fn' (or 'preference' to "
+                "score with)"
+            )
+        benefit_fn = preference.value
+    return RandomSearch(problem, benefit_fn=benefit_fn, rng=rng, **kw)

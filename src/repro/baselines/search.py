@@ -18,7 +18,10 @@ import numpy as np
 
 from repro.core.problem import EVAProblem
 from repro.core.result import OptimizationOutcome, ScheduleDecision
+from repro.core.scheduler import SchedulerMixin
+from repro.obs import telemetry
 from repro.utils import as_generator, check_array_2d
+from repro.utils.compat import absorb_positional, resolve_deprecated
 from repro.utils.rng import RngLike
 
 
@@ -53,31 +56,57 @@ def orient_minimize(outcomes: np.ndarray) -> np.ndarray:
     return y
 
 
-class RandomSearch:
-    """Best-of-N random knob decisions under a benefit function."""
+class RandomSearch(SchedulerMixin):
+    """Best-of-N random knob decisions under a benefit function.
+
+    Keyword-only after ``problem``; ``n_iterations`` is the sample
+    budget (``n_samples`` is the deprecated alias).
+    """
 
     method_name = "RandomSearch"
 
     def __init__(
         self,
         problem: EVAProblem,
-        benefit_fn: Callable[[np.ndarray], float],
-        *,
-        n_samples: int = 100,
+        *args,
+        benefit_fn: Callable[[np.ndarray], float] | None = None,
+        n_iterations: int | None = None,
+        n_samples: int | None = None,
         rng: RngLike = None,
     ) -> None:
-        if n_samples < 1:
-            raise ValueError(f"n_samples must be >= 1, got {n_samples}")
+        shim = absorb_positional(
+            "RandomSearch", args, ("benefit_fn",), {"benefit_fn": benefit_fn}
+        )
+        benefit_fn = shim["benefit_fn"]
+        if benefit_fn is None:
+            raise TypeError(
+                "RandomSearch() missing required keyword argument 'benefit_fn'"
+            )
+        n_iterations = resolve_deprecated(
+            "RandomSearch", "n_samples", n_samples, "n_iterations", n_iterations,
+            default=100,
+        )
+        if n_iterations < 1:
+            raise ValueError(f"n_iterations must be >= 1, got {n_iterations}")
         self.problem = problem
         self.benefit_fn = benefit_fn
-        self.n_samples = int(n_samples)
+        self.n_iterations = int(n_iterations)
         self._rng = as_generator(rng)
 
+    @property
+    def n_samples(self) -> int:
+        """Deprecated alias of :attr:`n_iterations`."""
+        return self.n_iterations
+
     def optimize(self) -> OptimizationOutcome:
-        """Sample-and-keep-best over n_samples random decisions."""
+        """Sample-and-keep-best over ``n_iterations`` random decisions."""
+        with telemetry.span("random_search.optimize"):
+            return self._optimize()
+
+    def _optimize(self) -> OptimizationOutcome:
         best = None
         history = []
-        for _ in range(self.n_samples):
+        for _ in range(self.n_iterations):
             r, s = self.problem.sample_decision(self._rng)
             y = self.problem.evaluate(r, s)
             z = float(self.benefit_fn(y))
@@ -96,7 +125,7 @@ class RandomSearch:
                 method=self.method_name,
             ),
             true_benefit=z,
-            n_iterations=self.n_samples,
+            n_iterations=self.n_iterations,
             converged=True,
             history=history,
         )

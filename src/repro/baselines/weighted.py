@@ -24,17 +24,23 @@ from repro.baselines.weights import (
 from repro.core.benefit import compute_bounds
 from repro.core.problem import EVAProblem
 from repro.core.result import OptimizationOutcome, ScheduleDecision
-from repro.moo.scalarize import weighted_chebyshev, weighted_sum
+from repro.core.scheduler import SchedulerMixin
+from repro.obs import telemetry
 from repro.outcomes.functions import OBJECTIVES
+from repro.moo.scalarize import weighted_chebyshev, weighted_sum
 from repro.utils import as_generator
+from repro.utils.compat import absorb_positional
 from repro.utils.rng import RngLike
 
 #: objective orientation: flip accuracy so everything is minimized
 _FLIP = np.array([1.0, -1.0, 1.0, 1.0, 1.0])
 
 
-class WeightedSumScheduler:
+class WeightedSumScheduler(SchedulerMixin):
     """Best-of-pool scheduler under a fixed classical weighting.
+
+    Keyword-only after ``problem`` (legacy positional ``rule`` still
+    works with a :class:`DeprecationWarning`).
 
     Parameters
     ----------
@@ -52,16 +58,22 @@ class WeightedSumScheduler:
         Random decisions scored in addition to the uniform-knob family.
     """
 
+    method_name = "WeightedSum"
+
     def __init__(
         self,
         problem: EVAProblem,
-        rule: str | Sequence[float] = "equal",
-        *,
+        *args,
+        rule: str | Sequence[float] | None = None,
         ranks: Sequence[int] | None = None,
         scalarization: str = "sum",
         n_candidates: int = 60,
         rng: RngLike = None,
     ) -> None:
+        shim = absorb_positional(
+            "WeightedSumScheduler", args, ("rule",), {"rule": rule}
+        )
+        rule = shim["rule"] if shim["rule"] is not None else "equal"
         self.problem = problem
         self._rng = as_generator(rng)
         self.n_candidates = int(n_candidates)
@@ -117,8 +129,16 @@ class WeightedSumScheduler:
             decisions.append(self.problem.sample_decision(self._rng))
         return decisions
 
+    @property
+    def name(self) -> str:
+        return f"Weighted[{self.rule}/{self.scalarization}]"
+
     def optimize(self) -> OptimizationOutcome:
         """Score the candidate family and return the best scalarized."""
+        with telemetry.span("weighted.optimize"):
+            return self._optimize()
+
+    def _optimize(self) -> OptimizationOutcome:
         decisions = self._candidate_decisions()
         outcomes = np.stack([self.problem.evaluate(r, s) for r, s in decisions])
         oriented = self._oriented(outcomes)
@@ -137,7 +157,7 @@ class WeightedSumScheduler:
                 assignment=assignment,
                 outcome=outcomes[best],
                 benefit=-float(scores[best]),
-                method=f"Weighted[{self.rule}/{self.scalarization}]",
+                method=self.name,
             ),
             n_iterations=len(decisions),
             converged=True,

@@ -19,7 +19,12 @@ from repro.bench.experiments import (
     fig10a_weight_sensitivity,
     fig10b_threshold_sensitivity,
 )
-from repro.bench.reporting import format_table, format_series, format_heatmap
+from repro.bench.reporting import (
+    experiment_record,
+    format_heatmap,
+    format_series,
+    format_table,
+)
 from repro.bench.parallel import run_parallel, default_workers
 from repro.bench.io import save_results, load_results
 
@@ -37,6 +42,7 @@ __all__ = [
     "fig9_preference_accuracy",
     "fig10a_weight_sensitivity",
     "fig10b_threshold_sensitivity",
+    "experiment_record",
     "format_table",
     "format_series",
     "run_parallel",

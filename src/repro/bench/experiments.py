@@ -13,7 +13,7 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.baselines import FACT, JCAB, pareto_front
+from repro.baselines import make_scheduler, pareto_front
 from repro.baselines.search import orient_minimize
 from repro.bench.harness import (
     FAST_PAMO_KWARGS,
@@ -22,7 +22,7 @@ from repro.bench.harness import (
     normalize_against_plus,
     run_method,
 )
-from repro.core import EVAProblem, PaMO, PaMOPlus, make_preference
+from repro.core import EVAProblem, make_preference
 from repro.core.benefit import benefit_ratio, normalized_benefit
 from repro.outcomes import OutcomeSurrogateBank, profile_grid
 from repro.outcomes.functions import OBJECTIVES
@@ -392,7 +392,7 @@ def fig9_preference_accuracy(
                 ]
             )
             dm = DecisionMaker(pref, rng=g)
-            learner = PreferenceLearner(ys, dm, rng=g)
+            learner = PreferenceLearner(ys, decision_maker=dm, rng=g)
             n_init = min(3, v)
             learner.initialize(n_init)
             if eubo:
@@ -438,8 +438,12 @@ def fig10a_weight_sensitivity(
             u_max = max(plus.true_benefit, pamo.true_benefit)
             u_min = pref.worst_value
             for w in weight_values:
-                jcab = JCAB(problem, w_acc=1.0, w_eng=w, rng=seed).optimize()
-                fact = FACT(problem, w_ltc=w, w_acc=1.0).optimize()
+                jcab = make_scheduler(
+                    "jcab", problem, rng=seed, w_acc=1.0, w_eng=w
+                ).optimize()
+                fact = make_scheduler(
+                    "fact", problem, w_ltc=w, w_acc=1.0
+                ).optimize()
                 records.append(
                     {
                         "config": tag,
@@ -477,7 +481,10 @@ def fig10b_threshold_sensitivity(
     records = []
     kw = dict(FAST_PAMO_KWARGS)
     if pamo_kwargs:
-        kw.update(pamo_kwargs)
+        extra = dict(pamo_kwargs)
+        if "max_iters" in extra and "n_iterations" not in extra:
+            extra["n_iterations"] = extra.pop("max_iters")
+        kw.update(extra)
     for n_srv, n_vid in configs:
         tag = f"n{n_srv}v{n_vid}"
         for seed in seeds:
@@ -485,38 +492,40 @@ def fig10b_threshold_sensitivity(
             pref = make_preference(problem)
             u_min = pref.worst_value
             # u_max from a reference PaMO+ run at the tightest threshold
-            ref = PaMOPlus(
-                problem, DecisionMaker(pref, rng=seed), rng=seed,
+            ref = make_scheduler(
+                "pamo+", problem, preference=pref, rng=seed,
                 **{**kw, "delta": min(deltas)},
             ).optimize()
             u_max = pref.value(ref.decision.outcome)
             for delta in deltas:
                 row = {"config": tag, "delta": delta, "seed": seed}
-                dm1 = DecisionMaker(pref, rng=seed)
-                pamo = PaMO(
-                    problem, dm1, rng=seed, **{**kw, "delta": delta}
+                pamo = make_scheduler(
+                    "pamo", problem, preference=pref, rng=seed,
+                    **{**kw, "delta": delta},
                 ).optimize()
                 row["PaMO"] = float(
                     normalized_benefit(
                         pref.value(pamo.decision.outcome), u_max, u_min
                     )
                 )
-                dm2 = DecisionMaker(pref, rng=seed)
-                plus = PaMOPlus(
-                    problem, dm2, rng=seed, **{**kw, "delta": delta}
+                plus = make_scheduler(
+                    "pamo+", problem, preference=pref, rng=seed,
+                    **{**kw, "delta": delta},
                 ).optimize()
                 row["PaMO+"] = float(
                     normalized_benefit(
                         pref.value(plus.decision.outcome), u_max, u_min
                     )
                 )
-                jcab = JCAB(problem, tol=delta, rng=seed).optimize()
+                jcab = make_scheduler(
+                    "jcab", problem, rng=seed, tol=delta
+                ).optimize()
                 row["JCAB"] = float(
                     normalized_benefit(
                         pref.value(jcab.decision.outcome), u_max, u_min
                     )
                 )
-                fact = FACT(problem, tol=delta).optimize()
+                fact = make_scheduler("fact", problem, tol=delta).optimize()
                 row["FACT"] = float(
                     normalized_benefit(
                         pref.value(fact.decision.outcome), u_max, u_min

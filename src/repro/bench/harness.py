@@ -12,8 +12,9 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.baselines import FACT, JCAB
-from repro.core import EVAProblem, PaMO, PaMOPlus, make_preference
+from repro.baselines import make_scheduler
+from repro.core import EVAProblem, make_preference
+from repro.obs import telemetry
 from repro.pref.decision_maker import DecisionMaker, LinearL1Preference
 from repro.utils import as_generator
 from repro.utils.rng import RngLike
@@ -31,7 +32,7 @@ FAST_PAMO_KWARGS = dict(
     n_init_comparisons=3,
     n_pref_queries=15,
     batch_size=3,
-    max_iters=6,
+    n_iterations=6,
     n_pool=16,
     n_mc_samples=24,
 )
@@ -90,28 +91,32 @@ def run_method(
     while JCAB/FACT run their own assignments as-is — so any queueing
     delay their Const2-violating placements cause shows up in the
     latency objective, exactly as on the paper's real testbed.
+
+    Construction goes through :func:`repro.baselines.make_scheduler`;
+    with telemetry enabled, the arm's own counter/span deltas land in
+    ``extras['telemetry']`` so parallel sweeps can merge them.
     """
     kw = dict(FAST_PAMO_KWARGS)
     if pamo_kwargs:
-        kw.update(pamo_kwargs)
+        extra = dict(pamo_kwargs)
+        if "max_iters" in extra and "n_iterations" not in extra:
+            extra["n_iterations"] = extra.pop("max_iters")
+        kw.update(extra)
 
-    if name == "JCAB":
-        out = JCAB(
-            problem, w_acc=jcab_weights[0], w_eng=jcab_weights[1], rng=seed
-        ).optimize()
-    elif name == "FACT":
-        out = FACT(
-            problem, w_ltc=fact_weights[0], w_acc=fact_weights[1]
-        ).optimize()
-    elif name in ("PaMO", "PaMO_qEI", "PaMO_qUCB", "PaMO_qSR"):
-        acq = {"PaMO": "qNEI"}.get(name, name.split("_", 1)[-1])
-        dm = DecisionMaker(preference, noise_scale=dm_noise, rng=seed)
-        out = PaMO(problem, dm, acquisition=acq, rng=seed, **kw).optimize()
-    elif name == "PaMO+":
-        dm = DecisionMaker(preference, noise_scale=dm_noise, rng=seed)
-        out = PaMOPlus(problem, dm, rng=seed, **kw).optimize()
+    key = name.lower()
+    if key == "jcab":
+        method_kw: dict = dict(w_acc=jcab_weights[0], w_eng=jcab_weights[1])
+    elif key == "fact":
+        method_kw = dict(w_ltc=fact_weights[0], w_acc=fact_weights[1])
+    elif key.startswith("pamo"):
+        method_kw = dict(preference=preference, dm_noise=dm_noise, **kw)
     else:
-        raise ValueError(f"unknown method {name!r}")
+        # weighted / random / any future registry entry: no PaMO budgets
+        method_kw = dict(preference=preference)
+
+    before = telemetry.snapshot() if telemetry.enabled else None
+    with telemetry.span(f"bench.run_method.{name}"):
+        out = make_scheduler(key, problem, rng=seed, **method_kw).optimize()
 
     d = out.decision
     outcome = d.outcome
@@ -122,16 +127,19 @@ def run_method(
             )
         else:
             outcome = problem.evaluate_measured(d.resolutions, d.fps, horizon=horizon)
+    extras = {
+        "n_iterations": out.n_iterations,
+        "n_dm_queries": out.n_dm_queries,
+        "resolutions": d.resolutions,
+        "fps": d.fps,
+    }
+    if before is not None:
+        extras["telemetry"] = telemetry.report(since=before)
     return MethodResult(
         method=name,
         true_benefit=float(preference.value(outcome)),
         outcome=outcome,
-        extras={
-            "n_iterations": out.n_iterations,
-            "n_dm_queries": out.n_dm_queries,
-            "resolutions": d.resolutions,
-            "fps": d.fps,
-        },
+        extras=extras,
     )
 
 

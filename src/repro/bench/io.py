@@ -28,6 +28,10 @@ def _encode(obj: Any) -> Any:
         return [_encode(v) for v in obj]
     if isinstance(obj, (str, int, float, bool)) or obj is None:
         return obj
+    if hasattr(obj, "to_dict"):
+        # ScheduleDecision / OptimizationOutcome and friends serialize
+        # themselves to JSON-safe dicts.
+        return _encode(obj.to_dict())
     raise TypeError(f"cannot serialize {type(obj).__name__}")
 
 

@@ -7,14 +7,23 @@ tuples must be picklable (top-level functions, plain data).
 
 The sequential path is kept for ``n_workers=1`` so tests and small runs
 avoid process overhead, and failures in any arm propagate with the
-original traceback.
+original traceback.  In the pool path the first failing arm wins:
+outstanding arms are cancelled instead of being run to completion.
+
+Telemetry crosses the process boundary by value: when the parent's
+registry is enabled, each worker runs its arm under a fresh registry
+and ships the :meth:`~repro.obs.Telemetry.report` dict back alongside
+the result; the parent folds them in with
+:meth:`~repro.obs.Telemetry.merge_report`.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, Iterable, Sequence
+from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
+from typing import Callable, Sequence
+
+from repro.obs import telemetry
 
 
 def default_workers() -> int:
@@ -23,6 +32,18 @@ def default_workers() -> int:
     if env:
         return max(1, int(env))
     return max(1, (os.cpu_count() or 2) - 1)
+
+
+def _run_with_telemetry(fn: Callable, args: tuple):
+    """Worker-side wrapper: record the arm's telemetry and ship it back."""
+    telemetry.reset()
+    telemetry.enable()
+    try:
+        result = fn(*args)
+    finally:
+        report = telemetry.report()
+        telemetry.disable()
+    return result, report
 
 
 def run_parallel(
@@ -35,6 +56,8 @@ def run_parallel(
 
     Results come back in input order.  ``n_workers=1`` runs inline
     (no pool), which is also the fallback when only one arm exists.
+    If an arm raises, pending arms are cancelled and the earliest
+    failure is re-raised (fail-fast).
     """
     args_list = list(args_list)
     if n_workers is None:
@@ -42,7 +65,39 @@ def run_parallel(
     if n_workers < 1:
         raise ValueError(f"n_workers must be >= 1, got {n_workers}")
     if n_workers == 1 or len(args_list) <= 1:
+        # Inline arms record straight into the parent registry.
         return [fn(*args) for args in args_list]
+
+    collect_telemetry = telemetry.enabled
     with ProcessPoolExecutor(max_workers=min(n_workers, len(args_list))) as pool:
-        futures = [pool.submit(fn, *args) for args in args_list]
-        return [f.result() for f in futures]
+        if collect_telemetry:
+            futures = [
+                pool.submit(_run_with_telemetry, fn, args) for args in args_list
+            ]
+        else:
+            futures = [pool.submit(fn, *args) for args in args_list]
+        _, not_done = wait(futures, return_when=FIRST_EXCEPTION)
+        failed = any(
+            f.done() and not f.cancelled() and f.exception() is not None
+            for f in futures
+        )
+        if failed:
+            for f in not_done:
+                f.cancel()
+            # let in-flight arms settle so the earliest-submitted failure
+            # (not merely the first to finish) is the one re-raised
+            wait(futures)
+            raise next(
+                f.exception()
+                for f in futures
+                if not f.cancelled() and f.exception() is not None
+            )
+        results = [f.result() for f in futures]
+
+    if collect_telemetry:
+        plain = []
+        for result, report in results:
+            telemetry.merge_report(report)
+            plain.append(result)
+        return plain
+    return results

@@ -1,10 +1,37 @@
-"""ASCII rendering of experiment results (the paper's rows/series)."""
+"""ASCII rendering and packaging of experiment results.
+
+Tables/series/heatmaps render the paper's rows; ``experiment_record``
+packages a figure's data for ``--output`` JSON, embedding the
+process-wide telemetry summary when recording is on.
+"""
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Any, Sequence
 
 import numpy as np
+
+from repro.obs import telemetry
+
+
+def experiment_record(data: Any) -> Any:
+    """Package experiment ``data`` for persistence.
+
+    When the telemetry registry is enabled, the accumulated
+    :meth:`~repro.obs.Telemetry.report` summary is embedded under a
+    ``"_telemetry"`` key — alongside the figure's own keys for dicts
+    (so existing top-level access keeps working), or in a
+    ``{"data": ..., "_telemetry": ...}`` wrapper for lists.  With
+    telemetry disabled, ``data`` is returned unchanged.
+    """
+    if not telemetry.enabled:
+        return data
+    report = telemetry.report()
+    if isinstance(data, dict):
+        record = dict(data)
+        record["_telemetry"] = report
+        return record
+    return {"data": data, "_telemetry": report}
 
 
 def format_table(

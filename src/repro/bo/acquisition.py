@@ -23,6 +23,7 @@ from typing import Callable, Protocol, Sequence
 
 import numpy as np
 
+from repro.obs import telemetry
 from repro.utils import as_generator, check_positive
 from repro.utils.rng import RngLike
 
@@ -34,6 +35,10 @@ class AcquisitionFunction(abc.ABC):
     """Batch acquisition over a joint benefit sampler."""
 
     name: str = "base"
+
+    #: MC estimate of the acquisition value of the last selected batch
+    #: (None until :meth:`select_batch` runs; telemetry reads this).
+    last_batch_value: float | None = None
 
     def __init__(self, n_samples: int = 64) -> None:
         if n_samples < 2:
@@ -107,6 +112,8 @@ class AcquisitionFunction(abc.ABC):
         else:
             joint = pool
         z = sampler(joint, self.n_samples, gen)  # (S, P[+O])
+        telemetry.counter("bo.acq_selections")
+        telemetry.counter("bo.acq_mc_samples", self.n_samples * joint.shape[0])
         z_pool = self._transform_samples(z[:, :p])
         z_obs = z[:, p:] if have_obs else None
         baseline = self._baseline_values(z_obs, observed_z, self.n_samples)
@@ -129,6 +136,7 @@ class AcquisitionFunction(abc.ABC):
             mask[best] = True
             chosen.append(best)
             current = np.maximum(current, z_pool[:, best])
+            self.last_batch_value = float(scores[best])
         return np.array(chosen, dtype=int)
 
 
@@ -259,11 +267,14 @@ class ThompsonSampling(AcquisitionFunction):
             )
         gen = as_generator(rng)
         draws = sampler(pool, max(batch_size, 2), gen)  # (>=b, P)
+        telemetry.counter("bo.acq_selections")
+        telemetry.counter("bo.acq_mc_samples", max(batch_size, 2) * pool.shape[0])
         chosen: list[int] = []
         for j in range(batch_size):
             order = np.argsort(-draws[j])
             pick = next(int(i) for i in order if int(i) not in chosen)
             chosen.append(pick)
+        self.last_batch_value = float(np.mean([draws[j, c] for j, c in enumerate(chosen)]))
         return np.array(chosen, dtype=int)
 
 

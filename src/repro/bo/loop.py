@@ -11,13 +11,16 @@ or after ``max_iters`` iterations.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Protocol
 
 import numpy as np
 
 from repro.bo.acquisition import AcquisitionFunction, QNEI
+from repro.obs import telemetry
 from repro.utils import as_generator, check_positive
+from repro.utils.compat import resolve_deprecated
 from repro.utils.rng import RngLike
 
 
@@ -75,8 +78,9 @@ class BOLoop:
         b — candidates recommended per iteration.
     delta:
         Convergence threshold δ on the change of the iteration-best z.
-    max_iters:
-        Hard iteration cap (MaxIterNum).
+    n_iterations:
+        Hard iteration cap (MaxIterNum); ``max_iters`` is the deprecated
+        alias.
     """
 
     def __init__(
@@ -89,9 +93,14 @@ class BOLoop:
         acquisition: AcquisitionFunction | None = None,
         batch_size: int = 4,
         delta: float = 0.02,
-        max_iters: int = 20,
+        n_iterations: int | None = None,
+        max_iters: int | None = None,
         rng: RngLike = None,
     ) -> None:
+        n_iterations = resolve_deprecated(
+            "BOLoop", "max_iters", max_iters, "n_iterations", n_iterations,
+            default=20,
+        )
         self.adapter = adapter
         self.observe = observe
         self.benefit_of = benefit_of
@@ -101,10 +110,15 @@ class BOLoop:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         self.batch_size = int(batch_size)
         self.delta = check_positive("delta", delta)
-        if max_iters < 1:
-            raise ValueError(f"max_iters must be >= 1, got {max_iters}")
-        self.max_iters = int(max_iters)
+        if n_iterations < 1:
+            raise ValueError(f"n_iterations must be >= 1, got {n_iterations}")
+        self.n_iterations = int(n_iterations)
         self._rng = as_generator(rng)
+
+    @property
+    def max_iters(self) -> int:
+        """Deprecated alias of :attr:`n_iterations`."""
+        return self.n_iterations
 
     def run(
         self,
@@ -133,25 +147,36 @@ class BOLoop:
         converged = False
         n_iter = 0
 
-        for n_iter in range(1, self.max_iters + 1):
-            pool = np.atleast_2d(self.candidates(self._rng))
-            idx = self.acquisition.select_batch(
-                self.adapter.sample_benefit,
-                pool,
-                min(self.batch_size, pool.shape[0]),
-                observed_x=observed_x,
-                observed_z=observed_z,
-                rng=self._rng,
-            )
+        for n_iter in range(1, self.n_iterations + 1):
+            t_iter = time.perf_counter()
+            with telemetry.span("bo.candidates"):
+                pool = np.atleast_2d(self.candidates(self._rng))
+            t0 = time.perf_counter()
+            with telemetry.span("bo.select_batch"):
+                idx = self.acquisition.select_batch(
+                    self.adapter.sample_benefit,
+                    pool,
+                    min(self.batch_size, pool.shape[0]),
+                    observed_x=observed_x,
+                    observed_z=observed_z,
+                    rng=self._rng,
+                )
+            t_select = time.perf_counter() - t0
             x_batch = pool[idx]
-            obs = self.observe(x_batch)
-            z_batch = np.asarray(self.benefit_of(obs), dtype=float)
+            t0 = time.perf_counter()
+            with telemetry.span("bo.observe"):
+                obs = self.observe(x_batch)
+                z_batch = np.asarray(self.benefit_of(obs), dtype=float)
+            t_observe = time.perf_counter() - t0
             if z_batch.shape[0] != x_batch.shape[0]:
                 raise ValueError(
                     f"benefit_of returned {z_batch.shape[0]} values for "
                     f"{x_batch.shape[0]} configurations"
                 )
-            self.adapter.update(x_batch, obs)
+            t0 = time.perf_counter()
+            with telemetry.span("bo.model_update"):
+                self.adapter.update(x_batch, obs)
+            t_update = time.perf_counter() - t0
 
             observed_x = (
                 x_batch if observed_x is None else np.vstack([observed_x, x_batch])
@@ -162,6 +187,24 @@ class BOLoop:
 
             z_best = float(np.max(z_batch))
             history.append(z_best)
+            if telemetry.enabled:
+                telemetry.event(
+                    "bo.iteration",
+                    iteration=n_iter,
+                    pool_size=int(pool.shape[0]),
+                    batch_size=int(x_batch.shape[0]),
+                    batch_benefit=z_best,
+                    batch_benefits=[float(z) for z in z_batch],
+                    incumbent_benefit=float(np.max(observed_z)),
+                    acquisition_value=getattr(
+                        self.acquisition, "last_batch_value", None
+                    ),
+                    t_select_s=t_select,
+                    t_observe_s=t_observe,
+                    t_model_update_s=t_update,
+                    t_iteration_s=time.perf_counter() - t_iter,
+                    counters=telemetry.report()["counters"],
+                )
             if z_prev is not None and abs(z_best - z_prev) < self.delta:
                 converged = True
                 break

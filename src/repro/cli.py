@@ -3,7 +3,10 @@
 Three commands:
 
 * ``optimize`` — build an EVA problem and run a scheduler on it,
-  printing the per-stream decision and outcome;
+  printing the per-stream decision and outcome; ``--telemetry PATH``
+  writes a JSONL event log and ``--profile`` adds cProfile summaries.
+  Registered scheduler names are accepted as top-level shorthand
+  (``repro pamo --telemetry run.jsonl``);
 * ``figure`` — regenerate one of the paper's figures (2, 3, 4, 6, 7,
   8, 9, 10a, 10b) and print its table;
 * ``info`` — version and module inventory.
@@ -20,21 +23,35 @@ import numpy as np
 from repro._version import __version__
 
 
+def _check_writable(path: str) -> str | None:
+    """Try creating/appending ``path``; return an error string on failure."""
+    from pathlib import Path
+
+    try:
+        p = Path(path)
+        p.parent.mkdir(parents=True, exist_ok=True)
+        p.open("a").close()
+    except OSError as exc:
+        return str(exc)
+    return None
+
+
 def _cmd_info(args: argparse.Namespace) -> int:
+    from repro.baselines import available_schedulers
     from repro.outcomes.functions import OBJECTIVES
 
     print(f"repro {__version__} — PaMO reproduction (ICPP '24)")
     print(f"objectives: {', '.join(OBJECTIVES)}")
-    print("schedulers: PaMO, PaMO+, JCAB, FACT, WeightedSum, RandomSearch")
+    print(f"schedulers: {', '.join(available_schedulers())}")
     print("figures: 2, 3, 4, 6, 7, 8, 9, 10a, 10b")
     return 0
 
 
 def _cmd_optimize(args: argparse.Namespace) -> int:
-    from repro.baselines import FACT, JCAB, RandomSearch, WeightedSumScheduler
+    from repro.baselines import make_scheduler
     from repro.bench.reporting import format_table
-    from repro.core import EVAProblem, PaMO, PaMOPlus, make_preference
-    from repro.pref import DecisionMaker
+    from repro.core import EVAProblem, make_preference
+    from repro.obs import telemetry
     from repro.utils import as_generator
 
     gen = as_generator(args.seed)
@@ -56,24 +73,37 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
     )
     pref = make_preference(problem, weights=weights)
 
-    method = args.method.lower()
-    if method == "pamo":
-        out = PaMO(problem, DecisionMaker(pref, rng=args.seed), rng=args.seed).optimize()
-    elif method == "pamo+":
-        out = PaMOPlus(
-            problem, DecisionMaker(pref, rng=args.seed), rng=args.seed
-        ).optimize()
-    elif method == "jcab":
-        out = JCAB(problem, rng=args.seed).optimize()
-    elif method == "fact":
-        out = FACT(problem).optimize()
-    elif method == "weighted":
-        out = WeightedSumScheduler(problem, "equal", rng=args.seed).optimize()
-    elif method == "random":
-        out = RandomSearch(problem, pref.value, n_samples=100, rng=args.seed).optimize()
-    else:
-        print(f"error: unknown method {args.method!r}", file=sys.stderr)
+    try:
+        scheduler = make_scheduler(
+            args.method, problem, preference=pref, rng=args.seed
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
         return 2
+
+    telemetry_path = getattr(args, "telemetry", "") or ""
+    profile = bool(getattr(args, "profile", False))
+    owns_telemetry = bool(telemetry_path) or profile
+    if telemetry_path and (err := _check_writable(telemetry_path)):
+        print(f"error: cannot write telemetry log: {err}", file=sys.stderr)
+        return 2
+    if owns_telemetry:
+        telemetry.enable(telemetry_path or None, profile=profile)
+    try:
+        with telemetry.span("cli.optimize"):
+            out = scheduler.optimize()
+        if telemetry.enabled:
+            telemetry.event(
+                "optimize.done",
+                method=scheduler.name,
+                seed=args.seed,
+                outcome=out.to_dict(),
+            )
+            telemetry.flush()
+    finally:
+        if owns_telemetry:
+            report = telemetry.report()
+            telemetry.disable()
 
     d = out.decision
     print(f"method: {d.method}   servers: {np.round(bw, 1).tolist()} Mbps")
@@ -89,6 +119,19 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
     names = ("latency_s", "mAP", "Mbps", "TFLOPs", "W")
     print("outcome:", {n: round(float(v), 4) for n, v in zip(names, d.outcome)})
     print(f"true benefit: {float(pref.value(d.outcome)):.4f}")
+    if owns_telemetry:
+        spans = report.get("spans", {})
+        total = spans.get("cli.optimize", {}).get("total_s", 0.0)
+        print(
+            f"telemetry: {len(report.get('counters', {}))} counters, "
+            f"{len(spans)} spans, optimize took {total:.3f}s"
+        )
+        if telemetry_path:
+            print(f"telemetry events written to {telemetry_path}")
+        if profile and report.get("profile"):
+            print("top functions (cumulative):")
+            for row in report["profile"]["top"][:5]:
+                print(f"  {row['cumtime_s']:8.3f}s  {row['function']}")
     return 0
 
 
@@ -121,6 +164,8 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         format_table,
     )
 
+    from repro.obs import telemetry
+
     fig = args.id
     if fig not in _FIGURES:
         print(
@@ -130,6 +175,13 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         return 2
     quick = args.quick
     saved_data = None
+    telemetry_path = getattr(args, "telemetry", "") or ""
+    owns_telemetry = bool(telemetry_path)
+    if telemetry_path and (err := _check_writable(telemetry_path)):
+        print(f"error: cannot write telemetry log: {err}", file=sys.stderr)
+        return 2
+    if owns_telemetry:
+        telemetry.enable(telemetry_path)
 
     if fig == "2":
         data = fig2_profiling_surfaces(
@@ -248,10 +300,13 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         ]
         print(format_table(["config", "delta", "JCAB", "FACT", "PaMO", "PaMO+"], rows, title="Fig.10b"))
     if getattr(args, "output", "") and saved_data is not None:
-        from repro.bench import save_results
+        from repro.bench import experiment_record, save_results
 
-        path = save_results(saved_data, args.output)
+        path = save_results(experiment_record(saved_data), args.output)
         print(f"results written to {path}")
+    if owns_telemetry:
+        telemetry.disable()
+        print(f"telemetry events written to {telemetry_path}")
     return 0
 
 
@@ -280,9 +335,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--method",
         type=str,
         default="pamo",
-        help="pamo | pamo+ | jcab | fact | weighted | random",
+        help="registered scheduler name (see `repro info`)",
     )
     p_opt.add_argument("--seed", type=int, default=0)
+    p_opt.add_argument(
+        "--telemetry",
+        type=str,
+        default="",
+        metavar="PATH",
+        help="write a JSONL telemetry event log (per-BO-iteration records)",
+    )
+    p_opt.add_argument(
+        "--profile",
+        action="store_true",
+        help="run the scheduler under cProfile and print top functions",
+    )
     p_opt.set_defaults(func=_cmd_optimize)
 
     p_fig = sub.add_parser("figure", help="regenerate a paper figure")
@@ -291,12 +358,32 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig.add_argument(
         "--output", type=str, default="", help="write results JSON to this path"
     )
+    p_fig.add_argument(
+        "--telemetry",
+        type=str,
+        default="",
+        metavar="PATH",
+        help="record telemetry (JSONL events here; summary in --output JSON)",
+    )
     p_fig.set_defaults(func=_cmd_figure)
     return parser
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code.
+
+    Registered scheduler names double as top-level commands:
+    ``repro pamo --telemetry run.jsonl`` is shorthand for
+    ``repro optimize --method pamo --telemetry run.jsonl``.
+    """
+    if argv is None:
+        argv = sys.argv[1:]
+    argv = list(argv)
+    if argv and not argv[0].startswith("-"):
+        from repro.baselines import available_schedulers
+
+        if argv[0].lower() in available_schedulers():
+            argv = ["optimize", "--method", argv[0]] + argv[1:]
     parser = build_parser()
     args = parser.parse_args(argv)
     return args.func(args)

@@ -19,6 +19,7 @@ from repro.core.benefit import (
     make_preference,
 )
 from repro.core.result import ScheduleDecision, OptimizationOutcome
+from repro.core.scheduler import Scheduler, SchedulerMixin
 from repro.core.pamo import PaMO, PaMOPlus
 from repro.core.online import OnlineScheduler, DriftDetector, EpochRecord
 
@@ -32,6 +33,8 @@ __all__ = [
     "make_preference",
     "ScheduleDecision",
     "OptimizationOutcome",
+    "Scheduler",
+    "SchedulerMixin",
     "PaMO",
     "PaMOPlus",
     "OnlineScheduler",

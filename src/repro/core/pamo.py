@@ -30,11 +30,14 @@ from repro.bo.acquisition import AcquisitionFunction, make_acquisition
 from repro.bo.loop import BOLoop
 from repro.core.problem import EVAProblem
 from repro.core.result import OptimizationOutcome, ScheduleDecision
+from repro.core.scheduler import SchedulerMixin
+from repro.obs import telemetry
 from repro.outcomes.functions import OBJECTIVES
 from repro.outcomes.surrogate import OutcomeSurrogateBank
 from repro.pref.decision_maker import DecisionMaker, TruePreference
 from repro.pref.learner import PreferenceLearner
 from repro.utils import as_generator, check_positive
+from repro.utils.compat import absorb_positional, resolve_deprecated
 from repro.utils.rng import RngLike
 
 
@@ -67,6 +70,7 @@ class _BenefitSurrogate:
     def _tx_mean(self, x: np.ndarray) -> float:
         key = np.asarray(x, dtype=float).tobytes()
         if key not in self._tx_cache:
+            telemetry.counter("pamo.tx_cache.miss")
             r, s = self.problem.decode(x)
             assignment, streams = self.problem.schedule(r, s)
             per_parent: dict[int, list[float]] = {}
@@ -77,6 +81,8 @@ class _BenefitSurrogate:
             self._tx_cache[key] = float(
                 np.mean([np.mean(v) for v in per_parent.values()])
             )
+        else:
+            telemetry.counter("pamo.tx_cache.hit")
         return self._tx_cache[key]
 
     # -- outcome posterior over decisions ---------------------------------
@@ -124,11 +130,17 @@ class _BenefitSurrogate:
 
     def update(self, x, observations) -> None:
         per_stream_x, per_stream_y = observations["per_stream"]
-        self.bank = self.bank.update(per_stream_x, per_stream_y)
+        with telemetry.span("pamo.outcome_refit"):
+            self.bank = self.bank.update(per_stream_x, per_stream_y)
+        telemetry.counter("pamo.outcome_gp_refits")
 
 
-class PaMO:
+class PaMO(SchedulerMixin):
     """Preference-aware Multi-Objective scheduler (the paper's system).
+
+    All configuration after ``problem`` is keyword-only (legacy
+    positional ``decision_maker`` and the ``max_iters`` alias still work
+    with a :class:`DeprecationWarning`).
 
     Parameters
     ----------
@@ -145,7 +157,7 @@ class PaMO:
         Random decisions forming the comparison outcome space Y.
     n_init_comparisons, n_pref_queries:
         Random seed pairs and EUBO-selected queries (V).
-    batch_size, delta, max_iters, n_mc_samples:
+    batch_size, delta, n_iterations, n_mc_samples:
         BO controls (b, δ, MaxIterNum, MC sample count).
     profile_noise:
         Relative measurement noise applied when profiling outcomes.
@@ -156,8 +168,8 @@ class PaMO:
     def __init__(
         self,
         problem: EVAProblem,
-        decision_maker: DecisionMaker,
-        *,
+        *args,
+        decision_maker: DecisionMaker | None = None,
         acquisition: str | AcquisitionFunction = "qNEI",
         n_profile: int = 60,
         n_outcome_space: int = 30,
@@ -165,12 +177,27 @@ class PaMO:
         n_pref_queries: int = 15,
         batch_size: int = 4,
         delta: float = 0.02,
-        max_iters: int = 12,
+        n_iterations: int | None = None,
+        max_iters: int | None = None,
         n_mc_samples: int = 32,
         n_pool: int = 24,
         profile_noise: float = 0.02,
         rng: RngLike = None,
     ) -> None:
+        shim = absorb_positional(
+            type(self).__name__, args, ("decision_maker",),
+            {"decision_maker": decision_maker},
+        )
+        decision_maker = shim["decision_maker"]
+        if decision_maker is None:
+            raise TypeError(
+                f"{type(self).__name__}() missing required keyword argument "
+                "'decision_maker'"
+            )
+        n_iterations = resolve_deprecated(
+            type(self).__name__, "max_iters", max_iters,
+            "n_iterations", n_iterations, default=12,
+        )
         self.problem = problem
         self.decision_maker = decision_maker
         if isinstance(acquisition, str):
@@ -186,7 +213,7 @@ class PaMO:
         )
         self.batch_size = int(check_positive("batch_size", batch_size))
         self.delta = check_positive("delta", delta)
-        self.max_iters = int(check_positive("max_iters", max_iters))
+        self.n_iterations = int(check_positive("n_iterations", n_iterations))
         self.n_pool = int(check_positive("n_pool", n_pool))
         self.profile_noise = check_positive(
             "profile_noise", profile_noise, strict=False
@@ -197,6 +224,11 @@ class PaMO:
         self.learner: PreferenceLearner | None = None
         self._incumbent: tuple[float, np.ndarray] | None = None
         self._incumbent_outcome: np.ndarray | None = None
+
+    @property
+    def max_iters(self) -> int:
+        """Deprecated alias of :attr:`n_iterations`."""
+        return self.n_iterations
 
     # ------------------------------------------------------------------
     # Phase 1: outcome-function fitting
@@ -227,17 +259,20 @@ class PaMO:
 
     def fit_outcome_models(self) -> OutcomeSurrogateBank:
         """Algorithm 2, phase 1."""
-        space = self.problem.config_space
-        all_cfg = space.all_configs()
-        pts = all_cfg[self._rng.integers(0, all_cfg.shape[0], self.n_profile)]
-        y = self._profile_outcomes(pts)
-        bounds = space.bounds()
-        bank = OutcomeSurrogateBank(
-            resolution_bounds=(bounds[0, 0], bounds[0, 1]),
-            fps_bounds=(bounds[1, 0], bounds[1, 1]),
-        )
-        bank.fit(pts, y, rng=self._rng)
-        self.bank = bank
+        with telemetry.span("pamo.fit_outcomes"):
+            space = self.problem.config_space
+            all_cfg = space.all_configs()
+            pts = all_cfg[self._rng.integers(0, all_cfg.shape[0], self.n_profile)]
+            y = self._profile_outcomes(pts)
+            telemetry.counter("pamo.profile_points", pts.shape[0])
+            bounds = space.bounds()
+            bank = OutcomeSurrogateBank(
+                resolution_bounds=(bounds[0, 0], bounds[0, 1]),
+                fps_bounds=(bounds[1, 0], bounds[1, 1]),
+            )
+            bank.fit(pts, y, rng=self._rng)
+            telemetry.counter("pamo.outcome_gp_fits")
+            self.bank = bank
         return bank
 
     # ------------------------------------------------------------------
@@ -252,15 +287,16 @@ class PaMO:
 
     def fit_preference_model(self) -> PreferenceLearner:
         """Algorithm 2, phase 2 (lines 5–11)."""
-        space = self.build_outcome_space()
-        learner = PreferenceLearner(
-            space,
-            self.decision_maker,
-            rng=self._rng,
-        )
-        learner.initialize(self.n_init_comparisons)
-        learner.run(self.n_pref_queries)
-        self.learner = learner
+        with telemetry.span("pamo.fit_preference"):
+            space = self.build_outcome_space()
+            learner = PreferenceLearner(
+                space,
+                decision_maker=self.decision_maker,
+                rng=self._rng,
+            )
+            learner.initialize(self.n_init_comparisons)
+            learner.run(self.n_pref_queries)
+            self.learner = learner
         return learner
 
     # ------------------------------------------------------------------
@@ -338,6 +374,7 @@ class PaMO:
     def _observe(self, x_batch: np.ndarray) -> dict:
         """Run a batch through Algorithm 1 + profiling (line 16)."""
         x_batch = np.atleast_2d(x_batch)
+        telemetry.counter("pamo.observed_decisions", x_batch.shape[0])
         outcomes = []
         ps_x, ps_y = [], []
         for x in x_batch:
@@ -377,6 +414,10 @@ class PaMO:
 
     def optimize(self) -> OptimizationOutcome:
         """Run all three phases; return the recommended decision."""
+        with telemetry.span("pamo.optimize"):
+            return self._optimize()
+
+    def _optimize(self) -> OptimizationOutcome:
         if self.bank is None:
             self.fit_outcome_models()
         if self.learner is None and not isinstance(self, PaMOPlus):
@@ -409,10 +450,11 @@ class PaMO:
             acquisition=self.acquisition,
             batch_size=self.batch_size,
             delta=self.delta,
-            max_iters=self.max_iters,
+            n_iterations=self.n_iterations,
             rng=self._rng,
         )
-        res = loop.run()
+        with telemetry.span("pamo.bo_loop"):
+            res = loop.run()
         r, s = self.problem.decode(res.best_x)
         assignment, _ = self.problem.schedule(r, s)
         outcome = self.problem.evaluate(r, s)

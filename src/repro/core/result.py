@@ -1,10 +1,17 @@
-"""Decision and optimization result containers."""
+"""Decision and optimization result containers.
+
+Both containers round-trip through JSON-safe dicts (``to_dict`` /
+``from_dict``) so result persistence (:mod:`repro.bench.io`) and the
+telemetry event log (:mod:`repro.obs`) share one serialization format.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
 import numpy as np
+
+from repro.utils.serialization import to_jsonable
 
 
 @dataclass
@@ -33,6 +40,29 @@ class ScheduleDecision:
     def n_streams(self) -> int:
         return self.resolutions.size
 
+    def to_dict(self) -> dict:
+        """JSON-safe dict (numpy arrays become lists)."""
+        return {
+            "resolutions": self.resolutions.tolist(),
+            "fps": self.fps.tolist(),
+            "assignment": [int(q) for q in self.assignment],
+            "outcome": self.outcome.tolist(),
+            "benefit": float(self.benefit),
+            "method": self.method,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ScheduleDecision":
+        """Rebuild a decision from :meth:`to_dict` output."""
+        return cls(
+            resolutions=d["resolutions"],
+            fps=d["fps"],
+            assignment=[int(q) for q in d["assignment"]],
+            outcome=d["outcome"],
+            benefit=float(d["benefit"]),
+            method=d.get("method", ""),
+        )
+
 
 @dataclass
 class OptimizationOutcome:
@@ -45,3 +75,30 @@ class OptimizationOutcome:
     history: list[float] = field(default_factory=list)
     n_dm_queries: int = 0
     extras: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """JSON-safe dict; ``extras`` values pass through the shared encoder."""
+        return {
+            "decision": self.decision.to_dict(),
+            "true_benefit": (
+                None if self.true_benefit is None else float(self.true_benefit)
+            ),
+            "n_iterations": int(self.n_iterations),
+            "converged": bool(self.converged),
+            "history": [float(z) for z in self.history],
+            "n_dm_queries": int(self.n_dm_queries),
+            "extras": to_jsonable(self.extras),
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "OptimizationOutcome":
+        """Rebuild an outcome record from :meth:`to_dict` output."""
+        return cls(
+            decision=ScheduleDecision.from_dict(d["decision"]),
+            true_benefit=d.get("true_benefit"),
+            n_iterations=int(d.get("n_iterations", 0)),
+            converged=bool(d.get("converged", False)),
+            history=[float(z) for z in d.get("history", [])],
+            n_dm_queries=int(d.get("n_dm_queries", 0)),
+            extras=dict(d.get("extras", {})),
+        )

@@ -1,0 +1,51 @@
+"""The unified scheduler API surface.
+
+Every optimizer in this repo — PaMO, PaMO+, and the §5.1 baselines —
+satisfies the same structural contract: construct with the problem (and
+keyword configuration), call :meth:`Scheduler.optimize`, get an
+:class:`~repro.core.result.OptimizationOutcome` back.  The
+:class:`Scheduler` protocol names that contract so dispatch code (the
+CLI, the bench harness, :func:`repro.baselines.registry.make_scheduler`)
+can be written against the interface instead of a hand-rolled if/elif
+ladder.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from repro.core.result import OptimizationOutcome
+
+__all__ = ["Scheduler", "SchedulerMixin"]
+
+
+@runtime_checkable
+class Scheduler(Protocol):
+    """Structural interface of every scheduling optimizer.
+
+    Attributes
+    ----------
+    name:
+        Human-readable method name ('PaMO', 'JCAB', ...), stamped into
+        :attr:`~repro.core.result.ScheduleDecision.method`.
+    """
+
+    name: str
+
+    def optimize(self) -> OptimizationOutcome:
+        """Solve the scheduling problem and return the full run record."""
+        ...
+
+
+class SchedulerMixin:
+    """Shared ``name`` plumbing for concrete schedulers.
+
+    Concrete classes declare ``method_name`` (the historical attribute,
+    kept for compatibility); ``name`` is the protocol-facing alias.
+    """
+
+    method_name: str = ""
+
+    @property
+    def name(self) -> str:
+        return self.method_name

@@ -1,0 +1,29 @@
+"""Observability: telemetry spans/counters/events and profiling hooks.
+
+Usage::
+
+    from repro.obs import telemetry
+
+    telemetry.enable("run.jsonl", profile=False)   # opt in
+    with telemetry.span("pamo.fit_outcomes"):
+        ...
+    telemetry.counter("pamo.tx_cache.hit")
+    telemetry.event("bo.iteration", iteration=1, batch_best=0.42)
+    summary = telemetry.report()
+
+Everything is a fast no-op until :func:`~repro.obs.telemetry.Telemetry.enable`
+is called, so library code is instrumented unconditionally.
+"""
+
+from repro.obs.sinks import EventSink, JsonlSink, MemorySink, NullSink
+from repro.obs.telemetry import Telemetry, get_telemetry, telemetry
+
+__all__ = [
+    "EventSink",
+    "JsonlSink",
+    "MemorySink",
+    "NullSink",
+    "Telemetry",
+    "get_telemetry",
+    "telemetry",
+]

@@ -1,0 +1,79 @@
+"""Event sinks for the telemetry registry.
+
+A sink receives structured event dicts (one per ``Telemetry.event`` /
+span completion) and decides where they go:
+
+* :class:`NullSink` — drops everything (the default; keeps the
+  disabled-telemetry path allocation-free);
+* :class:`MemorySink` — appends to an in-process list (tests,
+  programmatic inspection);
+* :class:`JsonlSink` — one JSON object per line, append-mode file
+  (the ``--telemetry out.jsonl`` CLI path).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, TextIO
+
+from repro.utils.serialization import to_jsonable
+
+
+class EventSink:
+    """Interface: ``emit`` one event dict; ``flush``/``close`` resources."""
+
+    def emit(self, record: dict[str, Any]) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def flush(self) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+class NullSink(EventSink):
+    """Discard all events."""
+
+    def emit(self, record: dict[str, Any]) -> None:
+        pass
+
+
+class MemorySink(EventSink):
+    """Buffer events in :attr:`records` for in-process inspection."""
+
+    def __init__(self) -> None:
+        self.records: list[dict[str, Any]] = []
+
+    def emit(self, record: dict[str, Any]) -> None:
+        self.records.append(record)
+
+    def clear(self) -> None:
+        self.records.clear()
+
+
+class JsonlSink(EventSink):
+    """Append events as JSON lines to ``path`` (opened lazily)."""
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+        self._fh: TextIO | None = None
+
+    def _handle(self) -> TextIO:
+        if self._fh is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = self.path.open("a")
+        return self._fh
+
+    def emit(self, record: dict[str, Any]) -> None:
+        self._handle().write(json.dumps(to_jsonable(record)) + "\n")
+
+    def flush(self) -> None:
+        if self._fh is not None:
+            self._fh.flush()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None

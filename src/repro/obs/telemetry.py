@@ -1,0 +1,361 @@
+"""Process-wide telemetry: phase timers, counters, events, profiling.
+
+The :class:`Telemetry` registry is the single observability surface for
+the whole pipeline.  Instrumented code does::
+
+    from repro.obs import telemetry
+
+    with telemetry.span("pamo.fit_outcomes"):
+        ...
+    telemetry.counter("pamo.tx_cache.hit")
+    telemetry.event("bo.iteration", iteration=3, batch_best=z)
+
+and pays (almost) nothing unless someone called
+:meth:`Telemetry.enable` — the disabled path is one attribute load and
+a branch per call, with a shared no-op span object, so hot loops can be
+instrumented unconditionally (guarded by the
+``benchmarks/test_telemetry_overhead.py`` <2% budget).
+
+Concepts
+--------
+* **Spans** are hierarchical wall-clock timers.  Nested spans record
+  under their slash-joined path (``pamo.optimize/pamo.bo_loop``), so a
+  report shows *where inside what* the time went.  Each span completion
+  also emits a ``span`` event to the sink.
+* **Counters** are monotonic (``counter``); **gauges** are
+  last-value-wins (``gauge``).
+* **Events** are structured records appended to the configured
+  :class:`~repro.obs.sinks.EventSink` (JSONL on disk for CLI runs).
+* **Profiling** is opt-in per registry: with ``profile=True`` each
+  *outermost* span runs under :mod:`cProfile` and the aggregate top
+  functions appear in :meth:`report`; with ``trace_malloc=True`` spans
+  additionally record their peak traced-memory delta.
+
+Cross-process use: worker processes (see :mod:`repro.bench.parallel`)
+enable a fresh registry, run their arm, and ship ``report()`` dicts
+back; the parent folds them in with :meth:`merge_report`.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+import threading
+import time
+from typing import Any
+
+from repro.obs.sinks import EventSink, JsonlSink, MemorySink, NullSink
+
+__all__ = ["Telemetry", "telemetry", "get_telemetry"]
+
+
+class _NullSpan:
+    """Shared no-op context manager returned while telemetry is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """Live span: times its block and folds stats into the registry."""
+
+    __slots__ = ("_telemetry", "name", "path", "_t0", "_mem0", "_profiler")
+
+    def __init__(self, telemetry: "Telemetry", name: str) -> None:
+        self._telemetry = telemetry
+        self.name = name
+        self.path = name
+        self._t0 = 0.0
+        self._mem0 = 0
+        self._profiler: cProfile.Profile | None = None
+
+    def __enter__(self) -> "_Span":
+        self._telemetry._span_enter(self)
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        elapsed = time.perf_counter() - self._t0
+        self._telemetry._span_exit(self, elapsed)
+        return False
+
+
+def _new_stats() -> dict[str, float]:
+    return {"count": 0, "total_s": 0.0, "min_s": float("inf"), "max_s": 0.0}
+
+
+class Telemetry:
+    """Registry of spans, counters, gauges, and an event sink.
+
+    Disabled by default: every public instrumentation call checks
+    :attr:`enabled` first and returns immediately, so library code can
+    instrument unconditionally.
+    """
+
+    def __init__(self) -> None:
+        self._enabled = False
+        self._sink: EventSink = NullSink()
+        self._profile = False
+        self._trace_malloc = False
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._counters: dict[str, float] = {}
+        self._gauges: dict[str, float] = {}
+        self._spans: dict[str, dict[str, float]] = {}
+        self._pstats: pstats.Stats | None = None
+        self._profiler_depth = 0
+        self._started_tracemalloc = False
+
+    # -- lifecycle -------------------------------------------------------
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    @property
+    def sink(self) -> EventSink:
+        return self._sink
+
+    def enable(
+        self,
+        sink: EventSink | str | None = None,
+        *,
+        profile: bool = False,
+        trace_malloc: bool = False,
+    ) -> "Telemetry":
+        """Turn recording on.
+
+        ``sink`` may be an :class:`EventSink`, a path (JSONL file), or
+        ``None`` to record spans/counters without an event log.
+        ``profile=True`` wraps outermost spans in :mod:`cProfile`;
+        ``trace_malloc=True`` records per-span peak memory deltas.
+        """
+        if isinstance(sink, (str, bytes)) or hasattr(sink, "__fspath__"):
+            sink = JsonlSink(sink)
+        self._sink = sink if sink is not None else NullSink()
+        self._profile = bool(profile)
+        self._trace_malloc = bool(trace_malloc)
+        if self._trace_malloc:
+            import tracemalloc
+
+            if not tracemalloc.is_tracing():
+                tracemalloc.start()
+                self._started_tracemalloc = True
+        self._enabled = True
+        return self
+
+    def disable(self) -> "Telemetry":
+        """Stop recording and release the sink (accumulated stats stay)."""
+        self._enabled = False
+        self._sink.flush()
+        self._sink.close()
+        self._sink = NullSink()
+        if self._started_tracemalloc:
+            import tracemalloc
+
+            tracemalloc.stop()
+            self._started_tracemalloc = False
+        return self
+
+    def reset(self) -> "Telemetry":
+        """Clear all accumulated counters, gauges, spans, and profiles."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._spans.clear()
+            self._pstats = None
+        return self
+
+    # -- spans -----------------------------------------------------------
+    def _stack(self) -> list[str]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def span(self, name: str):
+        """Context manager timing a phase; nests into slash-joined paths."""
+        if not self._enabled:
+            return _NULL_SPAN
+        return _Span(self, name)
+
+    def _span_enter(self, span: _Span) -> None:
+        stack = self._stack()
+        span.path = "/".join(stack + [span.name]) if stack else span.name
+        stack.append(span.name)
+        if self._trace_malloc:
+            import tracemalloc
+
+            span._mem0 = tracemalloc.get_traced_memory()[1]
+        if self._profile:
+            with self._lock:
+                outermost = self._profiler_depth == 0
+                self._profiler_depth += 1
+            if outermost:
+                span._profiler = cProfile.Profile()
+                span._profiler.enable()
+
+    def _span_exit(self, span: _Span, elapsed: float) -> None:
+        if span._profiler is not None:
+            span._profiler.disable()
+        mem_peak = 0
+        if self._trace_malloc:
+            import tracemalloc
+
+            mem_peak = max(0, tracemalloc.get_traced_memory()[1] - span._mem0)
+        with self._lock:
+            if self._profile:
+                self._profiler_depth -= 1
+                if span._profiler is not None:
+                    stats = pstats.Stats(span._profiler)
+                    if self._pstats is None:
+                        self._pstats = stats
+                    else:
+                        self._pstats.add(stats)
+            st = self._spans.setdefault(span.path, _new_stats())
+            st["count"] += 1
+            st["total_s"] += elapsed
+            st["min_s"] = min(st["min_s"], elapsed)
+            st["max_s"] = max(st["max_s"], elapsed)
+            if mem_peak:
+                st["mem_peak_bytes"] = max(st.get("mem_peak_bytes", 0), mem_peak)
+        stack = self._stack()
+        if stack and stack[-1] == span.name:
+            stack.pop()
+        record: dict[str, Any] = {"span": span.path, "duration_s": elapsed}
+        if mem_peak:
+            record["mem_peak_bytes"] = mem_peak
+        self.event("span", **record)
+
+    # -- counters / gauges ----------------------------------------------
+    def counter(self, name: str, inc: float = 1) -> None:
+        """Add ``inc`` to the monotonic counter ``name``."""
+        if not self._enabled:
+            return
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + inc
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to its latest ``value``."""
+        if not self._enabled:
+            return
+        with self._lock:
+            self._gauges[name] = float(value)
+
+    # -- structured events ----------------------------------------------
+    def event(self, kind: str, /, **fields: Any) -> None:
+        """Append a structured record to the sink (no-op when disabled)."""
+        if not self._enabled:
+            return
+        self._sink.emit({"event": kind, "ts": time.time(), **fields})
+
+    def flush(self) -> None:
+        self._sink.flush()
+
+    # -- reporting -------------------------------------------------------
+    def snapshot(self) -> dict[str, Any]:
+        """Point-in-time copy of counters/gauges/spans, for delta reports."""
+        with self._lock:
+            return {
+                "counters": dict(self._counters),
+                "gauges": dict(self._gauges),
+                "spans": {k: dict(v) for k, v in self._spans.items()},
+            }
+
+    def report(self, *, since: dict[str, Any] | None = None) -> dict[str, Any]:
+        """Summary dict of everything recorded (JSON-safe).
+
+        With ``since`` (a :meth:`snapshot`), counters and span
+        count/total become deltas — min/max stay absolute, which is the
+        honest choice since extrema cannot be un-mixed.
+        """
+        snap = self.snapshot()
+        if since is not None:
+            base_c = since.get("counters", {})
+            snap["counters"] = {
+                k: v - base_c.get(k, 0)
+                for k, v in snap["counters"].items()
+                if v != base_c.get(k, 0)
+            }
+            base_s = since.get("spans", {})
+            spans: dict[str, dict[str, float]] = {}
+            for k, v in snap["spans"].items():
+                b = base_s.get(k)
+                if b is None:
+                    spans[k] = v
+                    continue
+                if v["count"] == b["count"]:
+                    continue
+                d = dict(v)
+                d["count"] = v["count"] - b["count"]
+                d["total_s"] = v["total_s"] - b["total_s"]
+                spans[k] = d
+            snap["spans"] = spans
+        out: dict[str, Any] = {
+            "enabled": self._enabled,
+            "counters": snap["counters"],
+            "gauges": snap["gauges"],
+            "spans": snap["spans"],
+        }
+        if self._pstats is not None and since is None:
+            out["profile"] = {"top": _top_functions(self._pstats)}
+        return out
+
+    def merge_report(self, report: dict[str, Any] | None) -> "Telemetry":
+        """Fold a worker-process :meth:`report` into this registry.
+
+        Counters sum, gauges take the incoming value, span stats
+        combine (count/total add, min/max widen).  ``None`` and
+        profile sections are ignored.
+        """
+        if not report:
+            return self
+        with self._lock:
+            for k, v in report.get("counters", {}).items():
+                self._counters[k] = self._counters.get(k, 0) + v
+            for k, v in report.get("gauges", {}).items():
+                self._gauges[k] = v
+            for k, v in report.get("spans", {}).items():
+                st = self._spans.setdefault(k, _new_stats())
+                st["count"] += v.get("count", 0)
+                st["total_s"] += v.get("total_s", 0.0)
+                st["min_s"] = min(st["min_s"], v.get("min_s", float("inf")))
+                st["max_s"] = max(st["max_s"], v.get("max_s", 0.0))
+                if "mem_peak_bytes" in v:
+                    st["mem_peak_bytes"] = max(
+                        st.get("mem_peak_bytes", 0), v["mem_peak_bytes"]
+                    )
+        return self
+
+
+def _top_functions(stats: pstats.Stats, n: int = 20) -> list[dict[str, Any]]:
+    """Top-``n`` functions by cumulative time from aggregated pstats."""
+    rows = []
+    for (filename, lineno, func), (cc, nc, tt, ct, _) in stats.stats.items():
+        rows.append(
+            {
+                "function": f"{filename}:{lineno}({func})",
+                "ncalls": int(nc),
+                "tottime_s": float(tt),
+                "cumtime_s": float(ct),
+            }
+        )
+    rows.sort(key=lambda r: r["cumtime_s"], reverse=True)
+    return rows[:n]
+
+
+#: The process-wide registry all instrumented code records into.
+telemetry = Telemetry()
+
+
+def get_telemetry() -> Telemetry:
+    """Return the process-wide :class:`Telemetry` registry."""
+    return telemetry

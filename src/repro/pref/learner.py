@@ -18,8 +18,10 @@ import numpy as np
 from repro.bo.eubo import select_eubo_pair
 from repro.gp.kernels import RBFKernel
 from repro.gp.preference import ComparisonData, PreferenceGP
+from repro.obs import telemetry
 from repro.pref.decision_maker import DecisionMaker
 from repro.utils import as_generator, check_array_2d, normalize_minmax
+from repro.utils.compat import absorb_positional
 from repro.utils.rng import RngLike
 
 
@@ -43,13 +45,23 @@ class PreferenceLearner:
     def __init__(
         self,
         outcome_space,
-        decision_maker: DecisionMaker,
-        *,
+        *args,
+        decision_maker: DecisionMaker | None = None,
         noise_scale: float = 0.05,
         lengthscale: float = 1.5,
         n_eubo_candidates: int = 150,
         rng: RngLike = None,
     ) -> None:
+        shim = absorb_positional(
+            "PreferenceLearner", args, ("decision_maker",),
+            {"decision_maker": decision_maker},
+        )
+        decision_maker = shim["decision_maker"]
+        if decision_maker is None:
+            raise TypeError(
+                "PreferenceLearner() missing required keyword argument "
+                "'decision_maker'"
+            )
         self.outcome_space = check_array_2d("outcome_space", outcome_space)
         if self.outcome_space.shape[0] < 2:
             raise ValueError("outcome space needs at least two vectors")
@@ -89,36 +101,45 @@ class PreferenceLearner:
     def _ask(self, i: int, j: int) -> None:
         y1 = self.outcome_space[i]
         y2 = self.outcome_space[j]
+        telemetry.counter("pref.dm_queries")
         if self.decision_maker.compare(y1, y2):
             self._data.add_comparison(i, j)
         else:
             self._data.add_comparison(j, i)
         self._asked.add((min(i, j), max(i, j)))
 
+    def _fit(self) -> None:
+        with telemetry.span("pref.gp_fit"):
+            self.model.fit(self._data)
+        telemetry.counter("pref.gp_refits")
+
     def initialize(self, n_pairs: int = 3) -> "PreferenceLearner":
         """Seed the preference set with random comparisons and fit."""
         if n_pairs < 1:
             raise ValueError(f"n_pairs must be >= 1, got {n_pairs}")
         n = self.outcome_space.shape[0]
-        for _ in range(n_pairs):
-            i, j = self._rng.choice(n, 2, replace=False)
-            self._ask(int(i), int(j))
-        self.model.fit(self._data)
+        with telemetry.span("pref.initialize"):
+            for _ in range(n_pairs):
+                i, j = self._rng.choice(n, 2, replace=False)
+                self._ask(int(i), int(j))
+            self._fit()
         return self
 
     def query_step(self) -> tuple[int, int]:
         """One EUBO-selected query; returns the asked (i, j) indices."""
         if not self.model.is_fitted:
             raise RuntimeError("call initialize() before query_step()")
-        i, j = select_eubo_pair(
-            self.model,
-            self._data.items,
-            n_candidates=self.n_eubo_candidates,
-            rng=self._rng,
-            exclude=self._asked,
-        )
-        self._ask(i, j)
-        self.model.fit(self._data)
+        with telemetry.span("pref.query_step"):
+            i, j = select_eubo_pair(
+                self.model,
+                self._data.items,
+                n_candidates=self.n_eubo_candidates,
+                rng=self._rng,
+                exclude=self._asked,
+            )
+            telemetry.counter("pref.eubo_queries")
+            self._ask(i, j)
+            self._fit()
         return i, j
 
     def run(self, n_queries: int) -> "PreferenceLearner":
@@ -142,11 +163,12 @@ class PreferenceLearner:
         ref_idx = int(self._data.add_items(self._normalize(y_ref)[None, :])[0])
         new_idx = self._data.add_items(self._normalize(y_new))
         for i, y in zip(new_idx, y_new):
+            telemetry.counter("pref.dm_queries")
             if self.decision_maker.compare(y, y_ref):
                 self._data.add_comparison(int(i), ref_idx)
             else:
                 self._data.add_comparison(ref_idx, int(i))
-        self.model.fit(self._data)
+        self._fit()
         return self
 
     # ------------------------------------------------------------------

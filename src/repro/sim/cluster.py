@@ -13,6 +13,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.obs import telemetry
 from repro.sim.events import EventQueue
 from repro.sim.metrics import ServerMetrics, SimulationReport, StreamMetrics
 from repro.sim.network import UplinkLink
@@ -145,7 +146,13 @@ class EdgeCluster:
             if start <= horizon:
                 self.queue.schedule(start, make_emitter(spec, self.servers[q], self.links[q]))
 
-        self.queue.run(until=horizon)
+        with telemetry.span("sim.run"):
+            self.queue.run(until=horizon)
+        telemetry.counter("sim.frames_emitted", sum(emitted.values()))
+        telemetry.counter(
+            "sim.frames_completed", sum(len(v) for v in completed.values())
+        )
+        telemetry.counter("sim.runs")
 
         stream_metrics = {}
         for spec in streams:

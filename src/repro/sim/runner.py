@@ -17,6 +17,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.obs import telemetry
 from repro.sim.cluster import EdgeCluster, StreamSpec
 from repro.sim.metrics import SimulationReport
 from repro.utils import check_positive
@@ -94,14 +95,15 @@ def simulate_schedule(
         Apply Theorem-1 start-time staggering within each server group.
     """
     check_positive("horizon", horizon)
-    specs = build_stream_specs(
-        resolutions,
-        fps,
-        assignment,
-        profile=profile,
-        encoder=encoder,
-        textures=textures,
-        stagger=stagger,
-    )
-    cluster = EdgeCluster(bandwidths_mbps, profile=profile)
-    return cluster.run(specs, assignment, horizon)
+    with telemetry.span("sim.schedule"):
+        specs = build_stream_specs(
+            resolutions,
+            fps,
+            assignment,
+            profile=profile,
+            encoder=encoder,
+            textures=textures,
+            stagger=stagger,
+        )
+        cluster = EdgeCluster(bandwidths_mbps, profile=profile)
+        return cluster.run(specs, assignment, horizon)

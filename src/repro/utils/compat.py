@@ -1,0 +1,70 @@
+"""Deprecation shims for the keyword-only constructor migration.
+
+Scheduler and learner constructors are keyword-only after ``problem``
+and share parameter names (``rng``, ``n_iterations``, ``batch_size``).
+Old call styles keep working for one release through these helpers,
+which emit :class:`DeprecationWarning` so callers can migrate.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Any, Sequence
+
+__all__ = ["absorb_positional", "resolve_deprecated"]
+
+
+def absorb_positional(
+    owner: str, args: Sequence[Any], names: Sequence[str], kwargs: dict[str, Any]
+) -> dict[str, Any]:
+    """Map legacy positional ``args`` onto ``names``, warning once.
+
+    ``kwargs`` holds the values the caller already passed by keyword
+    (``None`` meaning "not given"); a parameter supplied both ways is a
+    ``TypeError`` exactly like a normal duplicate argument.  Returns
+    ``kwargs`` with the positional values filled in.
+    """
+    if not args:
+        return kwargs
+    if len(args) > len(names):
+        raise TypeError(
+            f"{owner}() takes at most {len(names)} positional argument(s) "
+            f"after 'problem', got {len(args)}"
+        )
+    shown = ", ".join(repr(n) for n in names[: len(args)])
+    warnings.warn(
+        f"{owner}: passing {shown} positionally is deprecated; "
+        "use keyword argument(s)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    for name, value in zip(names, args):
+        if kwargs.get(name) is not None:
+            raise TypeError(f"{owner}() got multiple values for argument {name!r}")
+        kwargs[name] = value
+    return kwargs
+
+
+def resolve_deprecated(
+    owner: str,
+    old_name: str,
+    old_value: Any,
+    new_name: str,
+    new_value: Any,
+    *,
+    default: Any,
+) -> Any:
+    """Resolve a renamed keyword: prefer ``new``, accept ``old`` with a warning."""
+    if old_value is not None:
+        if new_value is not None:
+            raise TypeError(
+                f"{owner}() got both {new_name!r} and its deprecated "
+                f"alias {old_name!r}"
+            )
+        warnings.warn(
+            f"{owner}: keyword {old_name!r} is deprecated; use {new_name!r}",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        return old_value
+    return new_value if new_value is not None else default

@@ -1,0 +1,42 @@
+"""JSON-safe conversion shared by result objects, bench IO, and telemetry.
+
+One converter so every serialized artifact — ``--output`` experiment
+JSON, telemetry JSONL events, ``ScheduleDecision.to_dict()`` — agrees on
+how numpy scalars/arrays, paths, and nested containers become plain
+JSON values.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+
+def to_jsonable(obj: Any) -> Any:
+    """Recursively convert ``obj`` into JSON-serializable builtins.
+
+    numpy arrays become (nested) lists, numpy scalars become Python
+    scalars, tuples/sets become lists, dict keys are stringified, and
+    objects exposing ``to_dict()`` are converted through it.  Raises
+    ``TypeError`` for anything else non-serializable so bad payloads
+    fail at the producer, not inside ``json.dumps``.
+    """
+    if obj is None or isinstance(obj, (str, bool, int, float)):
+        return obj
+    if isinstance(obj, (np.floating, np.integer)):
+        return obj.item()
+    if isinstance(obj, np.bool_):
+        return bool(obj)
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if isinstance(obj, Path):
+        return str(obj)
+    if isinstance(obj, dict):
+        return {str(k): to_jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        return [to_jsonable(v) for v in obj]
+    if hasattr(obj, "to_dict"):
+        return to_jsonable(obj.to_dict())
+    raise TypeError(f"cannot serialize {type(obj).__name__} to JSON")

@@ -1,10 +1,12 @@
 """Tests for the parallel experiment runner."""
 
 import os
+import time
 
 import pytest
 
 from repro.bench import default_workers, run_parallel
+from repro.obs import telemetry
 
 
 def _square(x):
@@ -17,6 +19,24 @@ def _add(a, b):
 
 def _boom(x):
     raise RuntimeError(f"arm {x} failed")
+
+
+def _mixed_arm(path, x):
+    """Arm 0 fails immediately; the rest sleep then leave a marker."""
+    if x == 0:
+        raise RuntimeError(f"arm {x} failed")
+    time.sleep(0.3)
+    with open(path, "a") as f:
+        f.write(f"{x}\n")
+    return x
+
+
+def _counting_arm(x):
+    telemetry.counter("test.arm_calls")
+    telemetry.counter("test.arm_sum", x)
+    with telemetry.span("test.arm"):
+        pass
+    return x * x
 
 
 class TestRunParallel:
@@ -50,6 +70,59 @@ class TestRunParallel:
     def test_invalid_workers(self):
         with pytest.raises(ValueError):
             run_parallel(_square, [(1,)], n_workers=0)
+
+    def test_earliest_failure_wins(self):
+        with pytest.raises(RuntimeError, match="arm 0 failed"):
+            run_parallel(_boom, [(0,), (1,), (2,)], n_workers=2)
+
+    def test_failure_cancels_pending_arms(self, tmp_path):
+        """Fail-fast: pending arms are cancelled, not run to completion."""
+        marker = tmp_path / "arms.txt"
+        args = [(str(marker), 0)] + [(str(marker), i) for i in range(1, 8)]
+        # arm 0 fails immediately; slow writer arms would take ~2s total
+        # if all ran, so fail-fast must leave most of them unwritten.
+
+        with pytest.raises(RuntimeError, match="failed"):
+            run_parallel(
+                _mixed_arm, args, n_workers=2
+            )
+        written = (
+            marker.read_text().strip().splitlines() if marker.exists() else []
+        )
+        assert len(written) < 6
+
+
+class TestTelemetryMerge:
+    def test_counters_merge_across_processes(self):
+        telemetry.reset()
+        telemetry.enable()
+        try:
+            out = run_parallel(_counting_arm, [(i,) for i in range(4)], n_workers=2)
+            rep = telemetry.report()
+        finally:
+            telemetry.disable()
+            telemetry.reset()
+        assert out == [0, 1, 4, 9]
+        assert rep["counters"]["test.arm_calls"] == 4
+        assert rep["counters"]["test.arm_sum"] == 0 + 1 + 2 + 3
+        assert rep["spans"]["test.arm"]["count"] == 4
+
+    def test_inline_path_records_directly(self):
+        telemetry.reset()
+        telemetry.enable()
+        try:
+            out = run_parallel(_counting_arm, [(2,), (3,)], n_workers=1)
+            rep = telemetry.report()
+        finally:
+            telemetry.disable()
+            telemetry.reset()
+        assert out == [4, 9]
+        assert rep["counters"]["test.arm_calls"] == 2
+
+    def test_disabled_telemetry_returns_plain_results(self):
+        assert not telemetry.enabled
+        out = run_parallel(_counting_arm, [(i,) for i in range(3)], n_workers=2)
+        assert out == [0, 1, 4]
 
 
 class TestDefaultWorkers:

@@ -1,0 +1,197 @@
+"""Tests for the repro.obs telemetry registry."""
+
+import json
+
+import pytest
+
+from repro.obs import JsonlSink, MemorySink, NullSink, Telemetry, get_telemetry
+from repro.obs import telemetry as global_telemetry
+from repro.obs.telemetry import _NULL_SPAN
+
+
+@pytest.fixture
+def tel():
+    t = Telemetry()
+    t.enable(MemorySink())
+    yield t
+    t.disable()
+
+
+class TestDisabledPath:
+    def test_disabled_by_default(self):
+        assert not Telemetry().enabled
+
+    def test_span_returns_shared_null_span(self):
+        t = Telemetry()
+        assert t.span("a") is _NULL_SPAN
+        assert t.span("b") is t.span("c")
+
+    def test_null_span_is_context_manager(self):
+        t = Telemetry()
+        with t.span("x"):
+            pass
+
+    def test_counter_gauge_event_noop(self):
+        t = Telemetry()
+        t.counter("c")
+        t.gauge("g", 1.0)
+        t.event("e", x=1)
+        rep = t.report()
+        assert rep["counters"] == {}
+        assert rep["gauges"] == {}
+        assert rep["spans"] == {}
+
+    def test_global_singleton(self):
+        assert get_telemetry() is global_telemetry
+
+
+class TestSpans:
+    def test_records_count_and_time(self, tel):
+        with tel.span("phase"):
+            pass
+        st = tel.report()["spans"]["phase"]
+        assert st["count"] == 1
+        assert st["total_s"] >= 0.0
+        assert st["min_s"] <= st["max_s"]
+
+    def test_nesting_builds_slash_paths(self, tel):
+        with tel.span("outer"):
+            with tel.span("inner"):
+                pass
+            with tel.span("inner"):
+                pass
+        spans = tel.report()["spans"]
+        assert spans["outer"]["count"] == 1
+        assert spans["outer/inner"]["count"] == 2
+        assert "inner" not in spans
+
+    def test_span_emits_event(self, tel):
+        with tel.span("a"):
+            pass
+        kinds = [r["event"] for r in tel.sink.records]
+        assert "span" in kinds
+        rec = [r for r in tel.sink.records if r["event"] == "span"][0]
+        assert rec["span"] == "a"
+        assert rec["duration_s"] >= 0.0
+
+    def test_exception_still_closes_span(self, tel):
+        with pytest.raises(RuntimeError):
+            with tel.span("broken"):
+                raise RuntimeError("boom")
+        assert tel.report()["spans"]["broken"]["count"] == 1
+        # the stack unwound: a new span is top-level again
+        with tel.span("after"):
+            pass
+        assert "after" in tel.report()["spans"]
+
+
+class TestCountersGaugesEvents:
+    def test_counter_accumulates(self, tel):
+        tel.counter("hits")
+        tel.counter("hits", 2)
+        assert tel.report()["counters"]["hits"] == 3
+
+    def test_gauge_last_wins(self, tel):
+        tel.gauge("temp", 1.0)
+        tel.gauge("temp", 7.5)
+        assert tel.report()["gauges"]["temp"] == 7.5
+
+    def test_event_record_shape(self, tel):
+        tel.event("bo.iteration", iteration=3, value=1.5)
+        rec = tel.sink.records[-1]
+        assert rec["event"] == "bo.iteration"
+        assert rec["iteration"] == 3
+        assert "ts" in rec
+
+    def test_reset_clears(self, tel):
+        tel.counter("c")
+        with tel.span("s"):
+            pass
+        tel.reset()
+        rep = tel.report()
+        assert rep["counters"] == {} and rep["spans"] == {}
+
+
+class TestSnapshotDelta:
+    def test_report_since_snapshot_is_delta(self, tel):
+        tel.counter("n", 5)
+        snap = tel.snapshot()
+        tel.counter("n", 2)
+        tel.counter("fresh")
+        rep = tel.report(since=snap)
+        assert rep["counters"] == {"n": 2, "fresh": 1}
+
+    def test_unchanged_spans_dropped_from_delta(self, tel):
+        with tel.span("old"):
+            pass
+        snap = tel.snapshot()
+        with tel.span("new"):
+            pass
+        rep = tel.report(since=snap)
+        assert "old" not in rep["spans"]
+        assert rep["spans"]["new"]["count"] == 1
+
+
+class TestMergeReport:
+    def test_counters_sum_and_spans_combine(self):
+        a, b = Telemetry(), Telemetry()
+        for t, n in ((a, 2), (b, 3)):
+            t.enable()
+            t.counter("arm.evals", n)
+            with t.span("arm"):
+                pass
+            t.gauge("last_seed", n)
+        parent = Telemetry()
+        parent.enable()
+        parent.merge_report(a.report())
+        parent.merge_report(b.report())
+        rep = parent.report()
+        assert rep["counters"]["arm.evals"] == 5
+        assert rep["spans"]["arm"]["count"] == 2
+        assert rep["gauges"]["last_seed"] == 3
+        for t in (a, b, parent):
+            t.disable()
+
+    def test_merge_none_is_noop(self, tel):
+        tel.merge_report(None)
+        assert tel.report()["counters"] == {}
+
+
+class TestProfiling:
+    def test_profile_top_functions(self):
+        t = Telemetry()
+        t.enable(profile=True)
+        with t.span("work"):
+            sum(i * i for i in range(1000))
+        rep = t.report()
+        t.disable()
+        assert "profile" in rep
+        assert rep["profile"]["top"]
+        row = rep["profile"]["top"][0]
+        assert {"function", "ncalls", "tottime_s", "cumtime_s"} <= set(row)
+
+
+class TestSinks:
+    def test_jsonl_sink_writes_lines(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        t = Telemetry()
+        t.enable(path)
+        assert isinstance(t.sink, JsonlSink)
+        t.event("one", x=1)
+        t.event("two", y=[1, 2])
+        t.disable()
+        lines = path.read_text().strip().splitlines()
+        assert [json.loads(ln)["event"] for ln in lines] == ["one", "two"]
+
+    def test_null_sink_discards(self):
+        s = NullSink()
+        s.emit({"event": "x"})
+        s.flush()
+        s.close()
+
+    def test_memory_sink_clear(self):
+        s = MemorySink()
+        s.emit({"event": "x"})
+        assert len(s.records) == 1
+        s.clear()
+        assert s.records == []

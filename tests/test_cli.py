@@ -67,6 +67,58 @@ class TestOptimize:
     def test_unknown_method_errors(self, capsys):
         rc = main(["optimize", "--method", "skynet"])
         assert rc == 2
+        assert "unknown scheduler" in capsys.readouterr().err
+
+
+class TestTelemetry:
+    def test_pamo_alias_emits_iteration_records(self, capsys, tmp_path):
+        """`repro pamo --telemetry out.jsonl` writes per-BO-iteration JSONL."""
+        import json
+
+        path = tmp_path / "run.jsonl"
+        rc = main(
+            ["pamo", "--streams", "2", "--servers", "2",
+             "--telemetry", str(path)]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "telemetry events written to" in out
+
+        records = [
+            json.loads(line) for line in path.read_text().strip().splitlines()
+        ]
+        assert records, "telemetry log is empty"
+        iters = [r for r in records if r["event"] == "bo.iteration"]
+        assert iters, "no bo.iteration records emitted"
+        for i, rec in enumerate(iters, start=1):
+            assert rec["iteration"] == i
+            assert rec["batch_size"] >= 1
+            assert isinstance(rec["batch_benefit"], float)
+            assert isinstance(rec["incumbent_benefit"], float)
+            assert rec["t_iteration_s"] > 0
+            assert "counters" in rec
+        done = [r for r in records if r["event"] == "optimize.done"]
+        assert len(done) == 1
+        assert done[0]["method"] == "PaMO"
+        assert done[0]["outcome"]["decision"]["method"] == "PaMO"
+
+    def test_profile_flag_prints_top_functions(self, capsys):
+        rc = main(
+            ["optimize", "--streams", "2", "--servers", "2",
+             "--method", "random", "--profile"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "top functions" in out
+
+    def test_telemetry_disabled_after_run(self, tmp_path):
+        from repro.obs import telemetry
+
+        main(
+            ["optimize", "--streams", "2", "--servers", "2", "--method",
+             "random", "--telemetry", str(tmp_path / "t.jsonl")]
+        )
+        assert not telemetry.enabled
 
 
 class TestFigure:
@@ -95,3 +147,19 @@ class TestFigure:
 
         data = load_results(out_path)
         assert "algorithm1_jitter" in data
+
+    def test_telemetry_summary_embedded_in_output(self, capsys, tmp_path):
+        out_path = tmp_path / "fig4.json"
+        tel_path = tmp_path / "fig4.jsonl"
+        rc = main(
+            ["figure", "4", "--output", str(out_path),
+             "--telemetry", str(tel_path)]
+        )
+        assert rc == 0
+        from repro.bench import load_results
+
+        data = load_results(out_path)
+        assert "algorithm1_jitter" in data  # figure keys stay top-level
+        assert "_telemetry" in data
+        assert "spans" in data["_telemetry"]
+        assert tel_path.exists()
