@@ -11,10 +11,13 @@ original traceback.  In the pool path the first failing arm wins:
 outstanding arms are cancelled instead of being run to completion.
 
 Telemetry crosses the process boundary by value: when the parent's
-registry is enabled, each worker runs its arm under a fresh registry
-and ships the :meth:`~repro.obs.Telemetry.report` dict back alongside
-the result; the parent folds them in with
-:meth:`~repro.obs.Telemetry.merge_report`.
+registry is enabled, each worker runs its arm under a fresh registry —
+*inheriting the parent's trace ID and linking its root spans under the
+parent's current span* — and ships its :meth:`~repro.obs.Telemetry.
+report` dict plus buffered event records back with the result.  The
+parent folds stats in with :meth:`~repro.obs.Telemetry.merge_report`
+and re-emits the worker events verbatim into its own sink, so a merged
+JSONL log reconstructs one trace tree across all processes.
 """
 
 from __future__ import annotations
@@ -23,7 +26,7 @@ import os
 from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
 from typing import Callable, Sequence
 
-from repro.obs import telemetry
+from repro.obs import MemorySink, telemetry
 
 
 def default_workers() -> int:
@@ -34,16 +37,29 @@ def default_workers() -> int:
     return max(1, (os.cpu_count() or 2) - 1)
 
 
-def _run_with_telemetry(fn: Callable, args: tuple):
-    """Worker-side wrapper: record the arm's telemetry and ship it back."""
+def _run_with_telemetry(
+    fn: Callable,
+    args: tuple,
+    trace_id: str | None,
+    parent_span_id: str | None,
+):
+    """Worker-side wrapper: record the arm's telemetry and ship it back.
+
+    The worker joins the parent's trace (same ``trace_id``; root spans
+    parented under the span enclosing the ``run_parallel`` call) and
+    buffers its events in memory so the parent can fold them into its
+    own sink.
+    """
     telemetry.reset()
-    telemetry.enable()
+    sink = MemorySink()
+    telemetry.enable(sink, trace_id=trace_id, parent_span_id=parent_span_id)
     try:
         result = fn(*args)
     finally:
         report = telemetry.report()
+        records = list(sink.records)
         telemetry.disable()
-    return result, report
+    return result, report, records
 
 
 def run_parallel(
@@ -71,8 +87,11 @@ def run_parallel(
     collect_telemetry = telemetry.enabled
     with ProcessPoolExecutor(max_workers=min(n_workers, len(args_list))) as pool:
         if collect_telemetry:
+            trace_id = telemetry.trace_id
+            parent_span_id = telemetry.current_span_id()
             futures = [
-                pool.submit(_run_with_telemetry, fn, args) for args in args_list
+                pool.submit(_run_with_telemetry, fn, args, trace_id, parent_span_id)
+                for args in args_list
             ]
         else:
             futures = [pool.submit(fn, *args) for args in args_list]
@@ -96,8 +115,10 @@ def run_parallel(
 
     if collect_telemetry:
         plain = []
-        for result, report in results:
+        for result, report, records in results:
             telemetry.merge_report(report)
+            for record in records:
+                telemetry.emit_raw(record)
             plain.append(result)
         return plain
     return results

@@ -67,10 +67,13 @@ def select_eubo_pair(
     n_candidates: int = 200,
     rng: RngLike = None,
     exclude: set[tuple[int, int]] | None = None,
-) -> tuple[int, int]:
+    return_value: bool = False,
+) -> tuple[int, int] | tuple[int, int, float]:
     """argmax-EUBO pair among random candidate pairs of ``items``.
 
-    ``exclude`` skips already-asked (unordered) pairs.  Raises
+    ``exclude`` skips already-asked (unordered) pairs.  With
+    ``return_value=True`` the winning pair's EUBO value is appended to
+    the returned tuple (diagnostics record it per query).  Raises
     ``ValueError`` when fewer than two items exist or all pairs are
     excluded.
     """
@@ -106,4 +109,7 @@ def select_eubo_pair(
 
     vals = eubo_for_pairs(model, items, all_pairs)
     best = int(np.argmax(vals))
+    if return_value:
+        i, j = all_pairs[best]
+        return i, j, float(vals[best])
     return all_pairs[best]

@@ -81,6 +81,11 @@ class BOLoop:
     n_iterations:
         Hard iteration cap (MaxIterNum); ``max_iters`` is the deprecated
         alias.
+    on_iteration:
+        Optional diagnostics hook ``on_iteration(n_iter)`` invoked after
+        each model update — but only while telemetry is enabled, so
+        callers can emit model-health events (GP hyperparameters,
+        preference fidelity, …) without adding disabled-path cost.
     """
 
     def __init__(
@@ -95,6 +100,7 @@ class BOLoop:
         delta: float = 0.02,
         n_iterations: int | None = None,
         max_iters: int | None = None,
+        on_iteration: Callable[[int], None] | None = None,
         rng: RngLike = None,
     ) -> None:
         n_iterations = resolve_deprecated(
@@ -113,6 +119,7 @@ class BOLoop:
         if n_iterations < 1:
             raise ValueError(f"n_iterations must be >= 1, got {n_iterations}")
         self.n_iterations = int(n_iterations)
+        self.on_iteration = on_iteration
         self._rng = as_generator(rng)
 
     @property
@@ -187,6 +194,9 @@ class BOLoop:
 
             z_best = float(np.max(z_batch))
             history.append(z_best)
+            if self.on_iteration is not None and telemetry.enabled:
+                with telemetry.span("bo.diagnostics"):
+                    self.on_iteration(n_iter)
             if telemetry.enabled:
                 telemetry.event(
                     "bo.iteration",

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Three commands:
+Commands:
 
 * ``optimize`` — build an EVA problem and run a scheduler on it,
   printing the per-stream decision and outcome; ``--telemetry PATH``
@@ -9,6 +9,12 @@ Three commands:
   (``repro pamo --telemetry run.jsonl``);
 * ``figure`` — regenerate one of the paper's figures (2, 3, 4, 6, 7,
   8, 9, 10a, 10b) and print its table;
+* ``report`` — summarize a telemetry log: span time tree, convergence
+  curve, diagnostics tables (``--format text|json|markdown``);
+* ``compare`` — diff two telemetry logs on wall time / iterations /
+  final benefit; exits non-zero on regression (CI perf gate);
+* ``trace`` — export a telemetry log to Chrome ``trace_event`` JSON
+  for Perfetto / ``chrome://tracing``;
 * ``info`` — version and module inventory.
 """
 
@@ -102,6 +108,8 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
             telemetry.flush()
     finally:
         if owns_telemetry:
+            telemetry.emit_summary(method=args.method, seed=args.seed)
+            trace_id = telemetry.trace_id
             report = telemetry.report()
             telemetry.disable()
 
@@ -123,11 +131,13 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
         spans = report.get("spans", {})
         total = spans.get("cli.optimize", {}).get("total_s", 0.0)
         print(
-            f"telemetry: {len(report.get('counters', {}))} counters, "
+            f"telemetry: trace {trace_id} — "
+            f"{len(report.get('counters', {}))} counters, "
             f"{len(spans)} spans, optimize took {total:.3f}s"
         )
         if telemetry_path:
             print(f"telemetry events written to {telemetry_path}")
+            print(f"inspect with: repro report {telemetry_path}")
         if profile and report.get("profile"):
             print("top functions (cumulative):")
             for row in report["profile"]["top"][:5]:
@@ -305,8 +315,85 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         path = save_results(experiment_record(saved_data), args.output)
         print(f"results written to {path}")
     if owns_telemetry:
+        telemetry.emit_summary(figure=fig)
+        trace_id = telemetry.trace_id
         telemetry.disable()
+        print(f"telemetry: trace {trace_id}")
         print(f"telemetry events written to {telemetry_path}")
+        print(f"inspect with: repro report {telemetry_path}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.report import (
+        render_markdown,
+        render_text,
+        summarize_file,
+        to_json,
+    )
+
+    try:
+        summary = summarize_file(args.log)
+    except OSError as exc:
+        print(f"error: cannot read {args.log}: {exc}", file=sys.stderr)
+        return 2
+    if summary.n_events == 0:
+        print(f"error: no telemetry events in {args.log}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(json.dumps(to_json(summary), indent=2, sort_keys=True))
+    elif args.format == "markdown":
+        print(render_markdown(summary))
+    else:
+        print(render_text(summary))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.obs.report import compare_files, parse_threshold, render_compare
+
+    try:
+        threshold = parse_threshold(args.threshold)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        result, base, cand = compare_files(
+            args.baseline, args.candidate, threshold=threshold
+        )
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if base.n_events == 0 or cand.n_events == 0:
+        empty = args.baseline if base.n_events == 0 else args.candidate
+        print(f"error: no telemetry events in {empty}", file=sys.stderr)
+        return 2
+    print(f"baseline:  {args.baseline}  (trace {base.trace_id})")
+    print(f"candidate: {args.candidate}  (trace {cand.trace_id})")
+    print(render_compare(result))
+    return 1 if result.regressed else 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs.trace import load_events, write_chrome_trace
+
+    try:
+        events = load_events(args.log)
+    except OSError as exc:
+        print(f"error: cannot read {args.log}: {exc}", file=sys.stderr)
+        return 2
+    if not events:
+        print(f"error: no telemetry events in {args.log}", file=sys.stderr)
+        return 2
+    out = args.output or f"{args.log}.trace.json"
+    if err := _check_writable(out):
+        print(f"error: cannot write {out}: {err}", file=sys.stderr)
+        return 2
+    written = write_chrome_trace(events, out)
+    print(f"wrote Chrome trace of {len(events)} telemetry events to {written}")
+    print("open in Perfetto (ui.perfetto.dev) or chrome://tracing")
     return 0
 
 
@@ -366,6 +453,42 @@ def build_parser() -> argparse.ArgumentParser:
         help="record telemetry (JSONL events here; summary in --output JSON)",
     )
     p_fig.set_defaults(func=_cmd_figure)
+
+    p_rep = sub.add_parser("report", help="summarize a telemetry JSONL log")
+    p_rep.add_argument("log", type=str, help="telemetry JSONL file")
+    p_rep.add_argument(
+        "--format",
+        choices=("text", "json", "markdown"),
+        default="text",
+        help="output format (default: text)",
+    )
+    p_rep.set_defaults(func=_cmd_report)
+
+    p_cmp = sub.add_parser(
+        "compare", help="diff two telemetry logs; exit 1 on regression"
+    )
+    p_cmp.add_argument("baseline", type=str, help="baseline telemetry JSONL")
+    p_cmp.add_argument("candidate", type=str, help="candidate telemetry JSONL")
+    p_cmp.add_argument(
+        "--threshold",
+        type=str,
+        default="10%",
+        help="regression threshold, e.g. 10%% or 0.1 (default: 10%%)",
+    )
+    p_cmp.set_defaults(func=_cmd_compare)
+
+    p_tr = sub.add_parser(
+        "trace", help="export a telemetry log to Chrome trace_event JSON"
+    )
+    p_tr.add_argument("log", type=str, help="telemetry JSONL file")
+    p_tr.add_argument(
+        "-o",
+        "--output",
+        type=str,
+        default="",
+        help="output path (default: <log>.trace.json)",
+    )
+    p_tr.set_defaults(func=_cmd_trace)
     return parser
 
 
@@ -386,7 +509,15 @@ def main(argv: Sequence[str] | None = None) -> int:
             argv = ["optimize", "--method", argv[0]] + argv[1:]
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # downstream closed the pipe (e.g. `repro report ... | head`);
+        # park stdout on devnull so interpreter shutdown stays quiet
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

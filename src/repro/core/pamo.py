@@ -32,6 +32,11 @@ from repro.core.problem import EVAProblem
 from repro.core.result import OptimizationOutcome, ScheduleDecision
 from repro.core.scheduler import SchedulerMixin
 from repro.obs import telemetry
+from repro.obs.diagnostics import (
+    emit_outcome_gp_diagnostics,
+    emit_preference_diagnostics,
+    holdout_rmse,
+)
 from repro.outcomes.functions import OBJECTIVES
 from repro.outcomes.surrogate import OutcomeSurrogateBank
 from repro.pref.decision_maker import DecisionMaker, TruePreference
@@ -130,9 +135,18 @@ class _BenefitSurrogate:
 
     def update(self, x, observations) -> None:
         per_stream_x, per_stream_y = observations["per_stream"]
+        # Held-out RMSE: score the *pre-update* bank on the batch it is
+        # about to condition on — a genuine out-of-sample error.
+        rmse = (
+            holdout_rmse(self.bank, per_stream_x, per_stream_y)
+            if telemetry.enabled
+            else None
+        )
         with telemetry.span("pamo.outcome_refit"):
             self.bank = self.bank.update(per_stream_x, per_stream_y)
         telemetry.counter("pamo.outcome_gp_refits")
+        if telemetry.enabled:
+            emit_outcome_gp_diagnostics(self.bank, phase="update", rmse=rmse)
 
 
 class PaMO(SchedulerMixin):
@@ -273,6 +287,7 @@ class PaMO(SchedulerMixin):
             bank.fit(pts, y, rng=self._rng)
             telemetry.counter("pamo.outcome_gp_fits")
             self.bank = bank
+            emit_outcome_gp_diagnostics(bank, phase="fit")
         return bank
 
     # ------------------------------------------------------------------
@@ -399,6 +414,20 @@ class PaMO(SchedulerMixin):
         if self._incumbent is None or z_batch[best] > self._incumbent[0]:
             self._incumbent = (float(z_batch[best]), x_batch[best].copy())
 
+    def _emit_iteration_diagnostics(self, iteration: int) -> None:
+        """BOLoop diagnostics hook: preference-model fidelity per iteration.
+
+        The simulated decision maker exposes its hidden pricing rule, so
+        Kendall-τ rank agreement against the truth is measurable here; a
+        real deployment would omit the oracle and still get comparison
+        counts.  PaMO+ has no learner — the helper no-ops.
+        """
+        emit_preference_diagnostics(
+            self.learner,
+            oracle=getattr(self.decision_maker, "preference", None),
+            iteration=iteration,
+        )
+
     def _refine_preference(self, outcomes: np.ndarray) -> None:
         """Algorithm 2 line 19: extend 𝒫 with comparisons at new outcomes.
 
@@ -451,6 +480,7 @@ class PaMO(SchedulerMixin):
             batch_size=self.batch_size,
             delta=self.delta,
             n_iterations=self.n_iterations,
+            on_iteration=self._emit_iteration_diagnostics,
             rng=self._rng,
         )
         with telemetry.span("pamo.bo_loop"):

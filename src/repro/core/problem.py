@@ -17,6 +17,8 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.obs.diagnostics import emit_schedule_diagnostics
+from repro.obs.telemetry import telemetry
 from repro.outcomes.functions import OutcomeFunctions
 from repro.sched.assignment import resolve_assignment
 from repro.sched.grouping import InfeasibleScheduleError, group_streams
@@ -177,6 +179,8 @@ class EVAProblem:
         streams = self.make_streams(resolutions, fps)
         grouping = group_streams(streams, self.n_servers, strict=strict)
         assignment = resolve_assignment(grouping, self.bandwidths_mbps, streams)
+        if telemetry.enabled:
+            emit_schedule_diagnostics(streams, assignment)
         return assignment, streams
 
     def is_feasible(self, resolutions, fps) -> bool:

@@ -255,6 +255,26 @@ class GPRegressor:
         neg, _ = self._neg_mll_and_grad(theta)
         return -neg
 
+    def hyperparameters(self) -> dict[str, object]:
+        """JSON-safe snapshot of the fitted model's hyperparameters.
+
+        Keys: ``kernel``, ``lengthscales``, ``outputscale``, ``noise``,
+        ``n_train``, and — when fitted — ``log_marginal_likelihood``.
+        This is what :mod:`repro.obs.diagnostics` emits per outcome GP.
+        """
+        out: dict[str, object] = {"noise": float(self.noise)}
+        if self.kernel is not None:
+            out["kernel"] = type(self.kernel).__name__
+            out["lengthscales"] = [
+                float(v) for v in np.atleast_1d(self.kernel.lengthscales)
+            ]
+            out["outputscale"] = float(self.kernel.outputscale)
+        if self._x is not None:
+            out["n_train"] = int(self._x.shape[0])
+        if self.is_fitted:
+            out["log_marginal_likelihood"] = float(self.log_marginal_likelihood())
+        return out
+
     def log_predictive_density(self, x_test, y_test) -> float:
         """Mean log p(y_test | x_test, data) under the predictive marginals.
 

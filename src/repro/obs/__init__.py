@@ -16,7 +16,13 @@ is called, so library code is instrumented unconditionally.
 """
 
 from repro.obs.sinks import EventSink, JsonlSink, MemorySink, NullSink
-from repro.obs.telemetry import Telemetry, get_telemetry, telemetry
+from repro.obs.telemetry import (
+    Telemetry,
+    get_telemetry,
+    new_span_id,
+    new_trace_id,
+    telemetry,
+)
 
 __all__ = [
     "EventSink",
@@ -25,5 +31,7 @@ __all__ = [
     "NullSink",
     "Telemetry",
     "get_telemetry",
+    "new_span_id",
+    "new_trace_id",
     "telemetry",
 ]

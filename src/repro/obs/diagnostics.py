@@ -1,0 +1,187 @@
+"""Domain diagnostics: why a run converged, not just that it ran.
+
+The telemetry registry records *where time went*; this module records
+*model and constraint health* alongside it, as structured events the
+``repro report`` CLI tabulates:
+
+* ``gp.diagnostics`` — per-outcome-GP kernel hyperparameters, observation
+  noise, log marginal likelihood, and (on refits) held-out RMSE of the
+  pre-update model against the freshly measured batch;
+* ``pref.diagnostics`` — preference-learner state: comparison/item
+  counts and, when a ground-truth pricing oracle is available, the
+  Kendall-τ rank agreement between ĝ and the true benefit over the
+  learner's outcome space;
+* ``sched.*`` counters/gauges — Const1/Const2 violation counts,
+  zero-jitter (Theorem 1) group counts, and peak server utilization,
+  emitted per Algorithm-1 schedule.
+
+Every helper is a no-op while telemetry is disabled, so the emission
+sites in the BO loop / scheduler stay unconditionally instrumented
+without touching the <2% disabled-path overhead budget.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.obs.telemetry import telemetry
+from repro.sched.theory import (
+    const1_satisfied,
+    const2_satisfied,
+    theorem1_zero_jitter,
+    utilization,
+)
+
+__all__ = [
+    "gp_hyperparameters",
+    "holdout_rmse",
+    "emit_outcome_gp_diagnostics",
+    "rank_agreement",
+    "emit_preference_diagnostics",
+    "emit_schedule_diagnostics",
+]
+
+
+def gp_hyperparameters(gp) -> dict[str, Any]:
+    """JSON-safe hyperparameter snapshot of one GP regressor.
+
+    Prefers the model's own :meth:`~repro.gp.regression.GPRegressor.
+    hyperparameters`; falls back to reading kernel/noise attributes for
+    duck-typed surrogates.
+    """
+    describe = getattr(gp, "hyperparameters", None)
+    if callable(describe):
+        return describe()
+    out: dict[str, Any] = {}
+    kernel = getattr(gp, "kernel", None)
+    if kernel is not None and hasattr(kernel, "lengthscales"):
+        out["kernel"] = type(kernel).__name__
+        out["lengthscales"] = [float(v) for v in np.atleast_1d(kernel.lengthscales)]
+        out["outputscale"] = float(getattr(kernel, "outputscale", 1.0))
+    if hasattr(gp, "noise"):
+        out["noise"] = float(gp.noise)
+    return out
+
+
+def holdout_rmse(bank, x, y) -> dict[str, float]:
+    """Per-objective RMSE of the bank's predictions at held-out points.
+
+    Called with a freshly measured batch *before* the bank conditions on
+    it, this is a genuine out-of-sample error estimate for each outcome
+    surrogate.
+    """
+    from repro.outcomes.functions import OBJECTIVES
+
+    x = np.atleast_2d(np.asarray(x, dtype=float))
+    y = np.atleast_2d(np.asarray(y, dtype=float))
+    mean, _ = bank.predict_per_stream(x)
+    err = np.sqrt(np.mean((mean - y) ** 2, axis=0))
+    return {name: float(err[j]) for j, name in enumerate(OBJECTIVES)}
+
+
+def emit_outcome_gp_diagnostics(
+    bank,
+    *,
+    phase: str = "fit",
+    iteration: int | None = None,
+    holdout: tuple[np.ndarray, np.ndarray] | None = None,
+    rmse: dict[str, float] | None = None,
+) -> None:
+    """Emit one ``gp.diagnostics`` event for a fitted outcome-GP bank.
+
+    ``rmse`` attaches precomputed per-objective held-out RMSE (use
+    :func:`holdout_rmse` on the *pre-update* model); alternatively
+    ``holdout=(x, y)`` computes it here against ``bank`` as-is.
+    """
+    if not telemetry.enabled:
+        return
+    if rmse is None and holdout is not None:
+        rmse = holdout_rmse(bank, *holdout)
+    objectives: dict[str, Any] = {}
+    for name, gp in getattr(bank, "models", {}).items():
+        objectives[name] = gp_hyperparameters(gp)
+        if rmse is not None and name in rmse:
+            objectives[name]["holdout_rmse"] = rmse[name]
+    telemetry.event(
+        "gp.diagnostics", phase=phase, iteration=iteration, objectives=objectives
+    )
+    telemetry.counter("diag.gp_events")
+
+
+def rank_agreement(predicted, truth) -> float:
+    """Kendall-τ rank correlation between two utility vectors.
+
+    1.0 means the learned preference orders every pair like the oracle;
+    0.0 means no agreement.  Non-finite results (constant inputs)
+    collapse to 0.0.
+    """
+    from scipy.stats import kendalltau
+
+    predicted = np.asarray(predicted, dtype=float).ravel()
+    truth = np.asarray(truth, dtype=float).ravel()
+    if predicted.size != truth.size:
+        raise ValueError(
+            f"predicted has {predicted.size} values but truth has {truth.size}"
+        )
+    if predicted.size < 2:
+        return 0.0
+    tau = kendalltau(predicted, truth).statistic
+    return float(tau) if np.isfinite(tau) else 0.0
+
+
+def emit_preference_diagnostics(
+    learner, *, oracle=None, iteration: int | None = None
+) -> None:
+    """Emit one ``pref.diagnostics`` event for a preference learner.
+
+    ``oracle`` is a :class:`~repro.pref.decision_maker.TruePreference`
+    (e.g. the simulated decision maker's hidden pricing rule); when
+    given and the learner is fitted, the event carries the Kendall-τ
+    rank agreement of ĝ against it over the learner's outcome space.
+    ``learner=None`` (PaMO+ has no learner) is a silent no-op.
+    """
+    if not telemetry.enabled or learner is None:
+        return
+    fields: dict[str, Any] = {
+        "iteration": iteration,
+        "n_comparisons": int(learner.n_comparisons),
+        "n_items": int(learner.n_items),
+    }
+    if oracle is not None and learner.is_fitted:
+        space = learner.outcome_space
+        tau = rank_agreement(learner.utility(space), oracle.value(space))
+        fields["kendall_tau"] = tau
+        telemetry.gauge("pref.kendall_tau", tau)
+    telemetry.event("pref.diagnostics", **fields)
+    telemetry.counter("diag.pref_events")
+
+
+def emit_schedule_diagnostics(streams: Sequence, assignment: Sequence[int]) -> None:
+    """Fold one Algorithm-1 schedule into the constraint counters.
+
+    Counters: ``sched.schedules``, ``sched.const1_violations``,
+    ``sched.const2_violations``, ``sched.zero_jitter_groups``,
+    ``sched.groups``; gauge: ``sched.max_utilization``.
+    """
+    if not telemetry.enabled:
+        return
+    telemetry.counter("sched.schedules")
+    if not const1_satisfied(streams, assignment):
+        telemetry.counter("sched.const1_violations")
+    if not const2_satisfied(streams, assignment):
+        telemetry.counter("sched.const2_violations")
+    groups: dict[int, list] = defaultdict(list)
+    for st, q in zip(streams, assignment):
+        if q != -1:
+            groups[int(q)].append(st)
+    telemetry.counter("sched.groups", len(groups))
+    telemetry.counter(
+        "sched.zero_jitter_groups",
+        sum(1 for grp in groups.values() if theorem1_zero_jitter(grp)),
+    )
+    util = utilization(streams, assignment)
+    if util:
+        telemetry.gauge("sched.max_utilization", max(util.values()))

@@ -13,7 +13,9 @@ span completion) and decides where they go:
 
 from __future__ import annotations
 
+import atexit
 import json
+import threading
 from pathlib import Path
 from typing import Any, TextIO
 
@@ -54,26 +56,44 @@ class MemorySink(EventSink):
 
 
 class JsonlSink(EventSink):
-    """Append events as JSON lines to ``path`` (opened lazily)."""
+    """Append events as JSON lines to ``path`` (opened lazily).
+
+    Writes are serialized under a lock (spans may complete on several
+    threads at once), and the file is registered for close at
+    interpreter exit so a run that dies mid-flight still leaves a
+    readable log behind.
+    """
 
     def __init__(self, path) -> None:
         self.path = Path(path)
         self._fh: TextIO | None = None
+        self._lock = threading.Lock()
+        self._atexit_registered = False
 
     def _handle(self) -> TextIO:
         if self._fh is None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
             self._fh = self.path.open("a")
+            if not self._atexit_registered:
+                atexit.register(self.close)
+                self._atexit_registered = True
         return self._fh
 
     def emit(self, record: dict[str, Any]) -> None:
-        self._handle().write(json.dumps(to_jsonable(record)) + "\n")
+        line = json.dumps(to_jsonable(record)) + "\n"
+        with self._lock:
+            self._handle().write(line)
 
     def flush(self) -> None:
-        if self._fh is not None:
-            self._fh.flush()
+        with self._lock:
+            if self._fh is not None:
+                self._fh.flush()
 
     def close(self) -> None:
-        if self._fh is not None:
-            self._fh.close()
-            self._fh = None
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
+            if self._atexit_registered:
+                atexit.unregister(self.close)
+                self._atexit_registered = False

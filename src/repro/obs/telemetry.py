@@ -39,14 +39,43 @@ back; the parent folds them in with :meth:`merge_report`.
 from __future__ import annotations
 
 import cProfile
+import os
 import pstats
+import random
 import threading
 import time
+import uuid
 from typing import Any
 
 from repro.obs.sinks import EventSink, JsonlSink, MemorySink, NullSink
 
-__all__ = ["Telemetry", "telemetry", "get_telemetry"]
+__all__ = ["Telemetry", "telemetry", "get_telemetry", "new_trace_id", "new_span_id"]
+
+#: Max durations retained per span path for percentile estimation.
+RESERVOIR_SIZE = 128
+
+
+def new_trace_id() -> str:
+    """Fresh 32-hex-char trace identifier."""
+    return uuid.uuid4().hex
+
+
+def new_span_id() -> str:
+    """Fresh 16-hex-char span identifier."""
+    return uuid.uuid4().hex[:16]
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    """Linear-interpolated percentile of an already-sorted list."""
+    if not sorted_values:
+        return 0.0
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    pos = q * (len(sorted_values) - 1)
+    lo = int(pos)
+    hi = min(lo + 1, len(sorted_values) - 1)
+    frac = pos - lo
+    return sorted_values[lo] * (1.0 - frac) + sorted_values[hi] * frac
 
 
 class _NullSpan:
@@ -67,18 +96,32 @@ _NULL_SPAN = _NullSpan()
 class _Span:
     """Live span: times its block and folds stats into the registry."""
 
-    __slots__ = ("_telemetry", "name", "path", "_t0", "_mem0", "_profiler")
+    __slots__ = (
+        "_telemetry",
+        "name",
+        "path",
+        "span_id",
+        "parent_id",
+        "_t0",
+        "_wall0",
+        "_mem0",
+        "_profiler",
+    )
 
     def __init__(self, telemetry: "Telemetry", name: str) -> None:
         self._telemetry = telemetry
         self.name = name
         self.path = name
+        self.span_id = new_span_id()
+        self.parent_id: str | None = None
         self._t0 = 0.0
+        self._wall0 = 0.0
         self._mem0 = 0
         self._profiler: cProfile.Profile | None = None
 
     def __enter__(self) -> "_Span":
         self._telemetry._span_enter(self)
+        self._wall0 = time.time()
         self._t0 = time.perf_counter()
         return self
 
@@ -110,9 +153,14 @@ class Telemetry:
         self._counters: dict[str, float] = {}
         self._gauges: dict[str, float] = {}
         self._spans: dict[str, dict[str, float]] = {}
+        self._samples: dict[str, list[float]] = {}
+        self._sample_rng = random.Random(0x5EED)
         self._pstats: pstats.Stats | None = None
         self._profiler_depth = 0
         self._started_tracemalloc = False
+        self._trace_id: str | None = None
+        self._parent_span_id: str | None = None
+        self._pid = os.getpid()
 
     # -- lifecycle -------------------------------------------------------
     @property
@@ -123,12 +171,30 @@ class Telemetry:
     def sink(self) -> EventSink:
         return self._sink
 
+    @property
+    def trace_id(self) -> str | None:
+        """Trace ID of the current (or most recent) enabled run."""
+        return self._trace_id
+
+    def current_span_id(self) -> str | None:
+        """Span ID of the innermost open span on this thread.
+
+        Falls back to the cross-process parent span when no span is
+        open (the link :mod:`repro.bench.parallel` workers inherit).
+        """
+        stack = getattr(self._local, "stack", None)
+        if stack:
+            return stack[-1][1]
+        return self._parent_span_id
+
     def enable(
         self,
         sink: EventSink | str | None = None,
         *,
         profile: bool = False,
         trace_malloc: bool = False,
+        trace_id: str | None = None,
+        parent_span_id: str | None = None,
     ) -> "Telemetry":
         """Turn recording on.
 
@@ -136,6 +202,12 @@ class Telemetry:
         ``None`` to record spans/counters without an event log.
         ``profile=True`` wraps outermost spans in :mod:`cProfile`;
         ``trace_malloc=True`` records per-span peak memory deltas.
+
+        Every enabled run belongs to a *trace*: a fresh ``trace_id`` is
+        generated unless one is passed in (worker processes inherit the
+        parent's so merged event logs reconstruct one trace tree), and
+        ``parent_span_id`` links this process's root spans under a span
+        of another process.
         """
         if isinstance(sink, (str, bytes)) or hasattr(sink, "__fspath__"):
             sink = JsonlSink(sink)
@@ -148,7 +220,16 @@ class Telemetry:
             if not tracemalloc.is_tracing():
                 tracemalloc.start()
                 self._started_tracemalloc = True
+        self._trace_id = trace_id or new_trace_id()
+        self._parent_span_id = parent_span_id
+        self._pid = os.getpid()
         self._enabled = True
+        self.event(
+            "trace.start",
+            trace_id=self._trace_id,
+            pid=self._pid,
+            parent_id=self._parent_span_id,
+        )
         return self
 
     def disable(self) -> "Telemetry":
@@ -170,11 +251,13 @@ class Telemetry:
             self._counters.clear()
             self._gauges.clear()
             self._spans.clear()
+            self._samples.clear()
             self._pstats = None
         return self
 
     # -- spans -----------------------------------------------------------
-    def _stack(self) -> list[str]:
+    def _stack(self) -> list[tuple[str, str]]:
+        """Per-thread stack of (name, span_id) for the open spans."""
         stack = getattr(self._local, "stack", None)
         if stack is None:
             stack = []
@@ -189,8 +272,13 @@ class Telemetry:
 
     def _span_enter(self, span: _Span) -> None:
         stack = self._stack()
-        span.path = "/".join(stack + [span.name]) if stack else span.name
-        stack.append(span.name)
+        if stack:
+            span.path = "/".join([f[0] for f in stack] + [span.name])
+            span.parent_id = stack[-1][1]
+        else:
+            span.path = span.name
+            span.parent_id = self._parent_span_id
+        stack.append((span.name, span.span_id))
         if self._trace_malloc:
             import tracemalloc
 
@@ -227,10 +315,27 @@ class Telemetry:
             st["max_s"] = max(st["max_s"], elapsed)
             if mem_peak:
                 st["mem_peak_bytes"] = max(st.get("mem_peak_bytes", 0), mem_peak)
+            # Bounded reservoir (algorithm R) for p50/p95 in report().
+            res = self._samples.setdefault(span.path, [])
+            if len(res) < RESERVOIR_SIZE:
+                res.append(elapsed)
+            else:
+                j = self._sample_rng.randrange(int(st["count"]))
+                if j < RESERVOIR_SIZE:
+                    res[j] = elapsed
         stack = self._stack()
-        if stack and stack[-1] == span.name:
+        if stack and stack[-1][0] == span.name:
             stack.pop()
-        record: dict[str, Any] = {"span": span.path, "duration_s": elapsed}
+        record: dict[str, Any] = {
+            "span": span.path,
+            "name": span.name,
+            "duration_s": elapsed,
+            "start_ts": span._wall0,
+            "trace_id": self._trace_id,
+            "span_id": span.span_id,
+            "parent_id": span.parent_id,
+            "tid": threading.get_ident(),
+        }
         if mem_peak:
             record["mem_peak_bytes"] = mem_peak
         self.event("span", **record)
@@ -255,7 +360,32 @@ class Telemetry:
         """Append a structured record to the sink (no-op when disabled)."""
         if not self._enabled:
             return
-        self._sink.emit({"event": kind, "ts": time.time(), **fields})
+        self._sink.emit({"event": kind, "ts": time.time(), "pid": self._pid, **fields})
+
+    def emit_raw(self, record: dict[str, Any]) -> None:
+        """Forward an already-built event record to the sink verbatim.
+
+        Used when folding worker-process event logs into the parent's
+        sink: the records keep their original trace/span IDs, pid, and
+        timestamps.
+        """
+        if not self._enabled:
+            return
+        self._sink.emit(record)
+
+    def emit_summary(self, **extra: Any) -> None:
+        """Emit a ``run.summary`` event holding the full :meth:`report`.
+
+        Makes a JSONL event log self-contained for ``repro report``:
+        counters, gauges, and span stats (with percentiles) land next
+        to the per-iteration events.
+        """
+        if not self._enabled:
+            return
+        self.event(
+            "run.summary", trace_id=self._trace_id, report=self.report(), **extra
+        )
+        self.flush()
 
     def flush(self) -> None:
         self._sink.flush()
@@ -273,11 +403,23 @@ class Telemetry:
     def report(self, *, since: dict[str, Any] | None = None) -> dict[str, Any]:
         """Summary dict of everything recorded (JSON-safe).
 
-        With ``since`` (a :meth:`snapshot`), counters and span
-        count/total become deltas — min/max stay absolute, which is the
-        honest choice since extrema cannot be un-mixed.
+        Span stats include ``p50_s``/``p95_s`` percentiles estimated
+        from a bounded per-span duration reservoir, plus the reservoir
+        itself under ``sample`` (so cross-process merges can combine
+        percentiles).  With ``since`` (a :meth:`snapshot`), counters and
+        span count/total become deltas — min/max and the percentiles
+        stay absolute, which is the honest choice since extrema and
+        sampled quantiles cannot be un-mixed.
         """
         snap = self.snapshot()
+        with self._lock:
+            samples = {k: list(v) for k, v in self._samples.items()}
+        for k, st in snap["spans"].items():
+            res = sorted(samples.get(k, ()))
+            if res:
+                st["p50_s"] = _percentile(res, 0.50)
+                st["p95_s"] = _percentile(res, 0.95)
+                st["sample"] = res
         if since is not None:
             base_c = since.get("counters", {})
             snap["counters"] = {
@@ -313,8 +455,9 @@ class Telemetry:
         """Fold a worker-process :meth:`report` into this registry.
 
         Counters sum, gauges take the incoming value, span stats
-        combine (count/total add, min/max widen).  ``None`` and
-        profile sections are ignored.
+        combine (count/total add, min/max widen, duration reservoirs
+        pool and re-subsample to the bound).  ``None`` and profile
+        sections are ignored.
         """
         if not report:
             return self
@@ -333,6 +476,14 @@ class Telemetry:
                     st["mem_peak_bytes"] = max(
                         st.get("mem_peak_bytes", 0), v["mem_peak_bytes"]
                     )
+                incoming = v.get("sample")
+                if incoming:
+                    res = self._samples.setdefault(k, [])
+                    res.extend(float(d) for d in incoming)
+                    if len(res) > RESERVOIR_SIZE:
+                        self._samples[k] = self._sample_rng.sample(
+                            res, RESERVOIR_SIZE
+                        )
         return self
 
 

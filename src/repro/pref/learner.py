@@ -94,6 +94,11 @@ class PreferenceLearner:
         return self._data.n_pairs
 
     @property
+    def n_items(self) -> int:
+        """Items in the comparison set (outcome space + BO-observed)."""
+        return self._data.n_items
+
+    @property
     def is_fitted(self) -> bool:
         return self.model.is_fitted
 
@@ -130,14 +135,23 @@ class PreferenceLearner:
         if not self.model.is_fitted:
             raise RuntimeError("call initialize() before query_step()")
         with telemetry.span("pref.query_step"):
-            i, j = select_eubo_pair(
+            i, j, eubo = select_eubo_pair(
                 self.model,
                 self._data.items,
                 n_candidates=self.n_eubo_candidates,
                 rng=self._rng,
                 exclude=self._asked,
+                return_value=True,
             )
             telemetry.counter("pref.eubo_queries")
+            telemetry.event(
+                "pref.query",
+                i=int(i),
+                j=int(j),
+                eubo=eubo,
+                n_comparisons=self.n_comparisons,
+            )
+            telemetry.gauge("pref.last_eubo", eubo)
             self._ask(i, j)
             self._fit()
         return i, j

@@ -1,0 +1,168 @@
+"""Tests for domain diagnostics emission (GP / preference / schedule)."""
+
+import numpy as np
+import pytest
+
+from repro.obs import MemorySink, telemetry
+from repro.obs.diagnostics import (
+    emit_outcome_gp_diagnostics,
+    emit_preference_diagnostics,
+    emit_schedule_diagnostics,
+    gp_hyperparameters,
+    holdout_rmse,
+    rank_agreement,
+)
+from repro.outcomes.functions import OBJECTIVES
+from repro.outcomes.surrogate import OutcomeSurrogateBank
+from repro.pref import DecisionMaker, LinearL1Preference, PreferenceLearner
+from repro.sched import PeriodicStream
+
+
+@pytest.fixture
+def sink():
+    telemetry.reset()
+    s = MemorySink()
+    telemetry.enable(s)
+    yield s
+    telemetry.disable()
+    telemetry.reset()
+
+
+def _fitted_bank(n=12, seed=0):
+    gen = np.random.default_rng(seed)
+    x = np.column_stack(
+        [gen.uniform(200, 2000, n), gen.uniform(1, 30, n)]
+    )
+    y = gen.uniform(0.1, 1.0, (n, 5))
+    return OutcomeSurrogateBank().fit(x, y, rng=seed), x, y
+
+
+def _learner(seed=0):
+    gen = np.random.default_rng(seed)
+    space = gen.uniform(0, 1, (20, 5))
+    pref = LinearL1Preference(
+        weights=np.ones(5),
+        utopia=np.array([0.0, 1.0, 0.0, 0.0, 0.0]),
+        lo=np.zeros(5),
+        hi=np.ones(5),
+    )
+    dm = DecisionMaker(pref, noise_scale=0.0, rng=seed)
+    return PreferenceLearner(space, decision_maker=dm, rng=seed), dm
+
+
+class TestRankAgreement:
+    def test_perfect_agreement(self):
+        assert rank_agreement([1, 2, 3, 4], [10, 20, 30, 40]) == pytest.approx(1.0)
+
+    def test_reversed_order(self):
+        assert rank_agreement([1, 2, 3, 4], [4, 3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_constant_input_collapses_to_zero(self):
+        assert rank_agreement([1.0, 1.0, 1.0], [1, 2, 3]) == 0.0
+
+    def test_size_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            rank_agreement([1, 2], [1, 2, 3])
+
+
+class TestGPDiagnostics:
+    def test_hyperparameters_snapshot(self):
+        bank, _, _ = _fitted_bank()
+        hp = gp_hyperparameters(bank.models["acc"])
+        assert "noise" in hp
+        assert "lengthscales" in hp and len(hp["lengthscales"]) >= 1
+        assert "log_marginal_likelihood" in hp
+
+    def test_holdout_rmse_keys_and_range(self):
+        bank, x, y = _fitted_bank()
+        rmse = holdout_rmse(bank, x, y)
+        assert set(rmse) == set(OBJECTIVES)
+        for v in rmse.values():
+            assert np.isfinite(v) and v >= 0.0
+
+    def test_emit_event_per_objective(self, sink):
+        bank, x, y = _fitted_bank()
+        emit_outcome_gp_diagnostics(bank, phase="fit", holdout=(x, y))
+        evs = [r for r in sink.records if r["event"] == "gp.diagnostics"]
+        assert len(evs) == 1
+        objectives = evs[0]["objectives"]
+        assert set(objectives) == set(OBJECTIVES)
+        for d in objectives.values():
+            assert "holdout_rmse" in d
+
+    def test_precomputed_rmse_takes_precedence(self, sink):
+        bank, x, y = _fitted_bank()
+        emit_outcome_gp_diagnostics(bank, rmse={"acc": 0.123})
+        ev = [r for r in sink.records if r["event"] == "gp.diagnostics"][0]
+        assert ev["objectives"]["acc"]["holdout_rmse"] == 0.123
+        assert "holdout_rmse" not in ev["objectives"]["ltc"]
+
+    def test_noop_when_disabled(self):
+        bank, _, _ = _fitted_bank()
+        assert not telemetry.enabled
+        emit_outcome_gp_diagnostics(bank)  # must not raise or emit
+
+
+class TestPreferenceDiagnostics:
+    def test_emits_kendall_tau_with_oracle(self, sink):
+        learner, dm = _learner()
+        learner.initialize(6)
+        emit_preference_diagnostics(learner, oracle=dm.preference, iteration=1)
+        evs = [r for r in sink.records if r["event"] == "pref.diagnostics"]
+        assert len(evs) == 1
+        assert evs[0]["n_comparisons"] == 6
+        assert evs[0]["n_items"] == 20
+        assert -1.0 <= evs[0]["kendall_tau"] <= 1.0
+        assert telemetry.report()["gauges"]["pref.kendall_tau"] == evs[0]["kendall_tau"]
+
+    def test_unfitted_learner_skips_tau(self, sink):
+        learner, dm = _learner()
+        emit_preference_diagnostics(learner, oracle=dm.preference)
+        ev = [r for r in sink.records if r["event"] == "pref.diagnostics"][0]
+        assert "kendall_tau" not in ev
+
+    def test_none_learner_is_noop(self, sink):
+        emit_preference_diagnostics(None)
+        assert not [r for r in sink.records if r["event"] == "pref.diagnostics"]
+
+
+class TestScheduleDiagnostics:
+    def _streams(self):
+        return [
+            PeriodicStream(
+                stream_id=i,
+                fps=fps,
+                resolution=960.0,
+                processing_time=0.01,
+                bits_per_frame=1.0,
+            )
+            for i, fps in enumerate([10.0, 5.0])
+        ]
+
+    def test_counters_for_valid_schedule(self, sink):
+        emit_schedule_diagnostics(self._streams(), [0, 0])
+        counters = telemetry.report()["counters"]
+        assert counters["sched.schedules"] == 1
+        assert counters["sched.groups"] == 1
+        assert counters["sched.zero_jitter_groups"] == 1
+        assert "sched.const1_violations" not in counters
+        assert telemetry.report()["gauges"]["sched.max_utilization"] > 0
+
+    def test_overloaded_schedule_counts_violations(self, sink):
+        streams = [
+            PeriodicStream(
+                stream_id=i,
+                fps=30.0,
+                resolution=960.0,
+                processing_time=0.05,
+                bits_per_frame=1.0,
+            )
+            for i in range(2)
+        ]
+        emit_schedule_diagnostics(streams, [0, 0])
+        counters = telemetry.report()["counters"]
+        assert counters["sched.const1_violations"] == 1
+
+    def test_unassigned_streams_excluded(self, sink):
+        emit_schedule_diagnostics(self._streams(), [0, -1])
+        assert telemetry.report()["counters"]["sched.groups"] == 1

@@ -1,12 +1,13 @@
 """Tests for the repro.obs telemetry registry."""
 
 import json
+import threading
 
 import pytest
 
 from repro.obs import JsonlSink, MemorySink, NullSink, Telemetry, get_telemetry
 from repro.obs import telemetry as global_telemetry
-from repro.obs.telemetry import _NULL_SPAN
+from repro.obs.telemetry import _NULL_SPAN, RESERVOIR_SIZE
 
 
 @pytest.fixture
@@ -181,7 +182,8 @@ class TestSinks:
         t.event("two", y=[1, 2])
         t.disable()
         lines = path.read_text().strip().splitlines()
-        assert [json.loads(ln)["event"] for ln in lines] == ["one", "two"]
+        kinds = [json.loads(ln)["event"] for ln in lines]
+        assert kinds == ["trace.start", "one", "two"]
 
     def test_null_sink_discards(self):
         s = NullSink()
@@ -195,3 +197,141 @@ class TestSinks:
         assert len(s.records) == 1
         s.clear()
         assert s.records == []
+
+    def test_jsonl_sink_concurrent_writes_stay_line_atomic(self, tmp_path):
+        path = tmp_path / "concurrent.jsonl"
+        sink = JsonlSink(path)
+        n_threads, n_each = 4, 50
+
+        def worker(tid):
+            for i in range(n_each):
+                sink.emit({"event": "e", "tid": tid, "i": i, "pad": "x" * 64})
+
+        threads = [
+            threading.Thread(target=worker, args=(t,)) for t in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        sink.close()
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == n_threads * n_each
+        for ln in lines:
+            assert json.loads(ln)["event"] == "e"  # no torn/interleaved lines
+
+    def test_jsonl_sink_close_is_idempotent(self, tmp_path):
+        sink = JsonlSink(tmp_path / "x.jsonl")
+        sink.emit({"event": "a"})
+        sink.close()
+        sink.close()
+
+
+class TestTraceContext:
+    def test_enable_assigns_trace_id(self):
+        t = Telemetry()
+        t.enable(MemorySink())
+        assert t.trace_id and len(t.trace_id) == 32
+        t.disable()
+
+    def test_trace_start_event_emitted(self):
+        t = Telemetry()
+        sink = MemorySink()
+        t.enable(sink)
+        start = [r for r in sink.records if r["event"] == "trace.start"]
+        assert len(start) == 1
+        assert start[0]["trace_id"] == t.trace_id
+        t.disable()
+
+    def test_inherited_trace_and_parent(self):
+        t = Telemetry()
+        sink = MemorySink()
+        t.enable(sink, trace_id="cafe" * 8, parent_span_id="beef" * 4)
+        assert t.trace_id == "cafe" * 8
+        assert t.current_span_id() == "beef" * 4
+        with t.span("child"):
+            pass
+        rec = [r for r in sink.records if r["event"] == "span"][0]
+        assert rec["trace_id"] == "cafe" * 8
+        assert rec["parent_id"] == "beef" * 4
+        t.disable()
+
+    def test_nested_spans_link_parent_ids(self, tel):
+        with tel.span("outer"):
+            with tel.span("inner"):
+                pass
+        spans = {r["name"]: r for r in tel.sink.records if r["event"] == "span"}
+        assert spans["inner"]["parent_id"] == spans["outer"]["span_id"]
+        assert spans["outer"]["parent_id"] is None
+        assert spans["inner"]["span_id"] != spans["outer"]["span_id"]
+
+    def test_fresh_enable_rotates_trace_id(self):
+        t = Telemetry()
+        t.enable(MemorySink())
+        first = t.trace_id
+        t.disable()
+        t.enable(MemorySink())
+        assert t.trace_id != first
+        t.disable()
+
+    def test_emit_raw_forwards_verbatim(self, tel):
+        tel.emit_raw({"event": "span", "span_id": "x", "custom": 1})
+        assert tel.sink.records[-1] == {"event": "span", "span_id": "x", "custom": 1}
+
+    def test_emit_summary_embeds_report(self, tel):
+        tel.counter("c", 2)
+        tel.emit_summary(method="test")
+        rec = [r for r in tel.sink.records if r["event"] == "run.summary"][0]
+        assert rec["trace_id"] == tel.trace_id
+        assert rec["method"] == "test"
+        assert rec["report"]["counters"]["c"] == 2
+
+
+class TestPercentiles:
+    def test_report_includes_p50_p95(self, tel):
+        for _ in range(10):
+            with tel.span("work"):
+                pass
+        st = tel.report()["spans"]["work"]
+        assert st["min_s"] <= st["p50_s"] <= st["p95_s"] <= st["max_s"]
+        assert len(st["sample"]) == 10
+
+    def test_reservoir_is_bounded(self, tel):
+        for _ in range(RESERVOIR_SIZE * 3):
+            with tel.span("hot"):
+                pass
+        st = tel.report()["spans"]["hot"]
+        assert st["count"] == RESERVOIR_SIZE * 3
+        assert len(st["sample"]) == RESERVOIR_SIZE
+
+    def test_merge_folds_samples(self):
+        a, b, parent = Telemetry(), Telemetry(), Telemetry()
+        for t in (a, b):
+            t.enable()
+            for _ in range(5):
+                with t.span("arm"):
+                    pass
+        parent.enable()
+        parent.merge_report(a.report())
+        parent.merge_report(b.report())
+        st = parent.report()["spans"]["arm"]
+        assert len(st["sample"]) == 10
+        assert st["p95_s"] >= st["p50_s"]
+        for t in (a, b, parent):
+            t.disable()
+
+    def test_merged_reservoir_stays_bounded(self):
+        parent = Telemetry()
+        parent.enable()
+        for k in range(3):
+            child = Telemetry()
+            child.enable()
+            for _ in range(RESERVOIR_SIZE):
+                with child.span("arm"):
+                    pass
+            parent.merge_report(child.report())
+            child.disable()
+        st = parent.report()["spans"]["arm"]
+        assert st["count"] == RESERVOIR_SIZE * 3
+        assert len(st["sample"]) == RESERVOIR_SIZE
+        parent.disable()
