@@ -23,10 +23,17 @@ JSONL log reconstructs one trace tree across all processes.
 from __future__ import annotations
 
 import os
-from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
+import time
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    FIRST_EXCEPTION,
+    ProcessPoolExecutor,
+    wait,
+)
 from typing import Callable, Sequence
 
 from repro.obs import MemorySink, telemetry
+from repro.resilience.retry import ArmAbandonedError, RetryPolicy
 
 
 def default_workers() -> int:
@@ -62,11 +69,156 @@ def _run_with_telemetry(
     return result, report, records
 
 
+def _retry_inline(fn: Callable, args_list: list, policy: RetryPolicy) -> list:
+    """Sequential arms with bounded retry (no per-attempt timeout)."""
+    results = []
+    for idx, args in enumerate(args_list):
+        last: BaseException | None = None
+        for attempt in range(1, policy.max_attempts + 1):
+            if attempt > 1:
+                time.sleep(policy.delay_before(attempt))
+                telemetry.counter("retry.attempts")
+                telemetry.event(
+                    "retry.arm", arm=idx, attempt=attempt, error=repr(last)
+                )
+            try:
+                results.append(fn(*args))
+            except Exception as exc:  # noqa: BLE001 — retried, then re-raised
+                last = exc
+                continue
+            if attempt > 1:
+                telemetry.counter("retry.succeeded_after_retry")
+            break
+        else:
+            telemetry.counter("retry.abandoned")
+            telemetry.event(
+                "retry.abandon", arm=idx, attempts=policy.max_attempts,
+                error=repr(last),
+            )
+            raise ArmAbandonedError(idx, policy.max_attempts, last)
+    return results
+
+
+def _retry_pool(
+    fn: Callable,
+    args_list: list,
+    n_workers: int,
+    policy: RetryPolicy,
+) -> list:
+    """Pool arms with bounded retry, backoff, and best-effort timeouts.
+
+    A timed-out attempt's worker cannot be interrupted — its future is
+    abandoned (result discarded, slot freed when the worker finishes)
+    and the attempt reruns.  Backoff never blocks other arms: retries
+    sit in a ready queue until their resubmission time.
+    """
+    collect = telemetry.enabled
+    trace_id = telemetry.trace_id if collect else None
+    parent_span_id = telemetry.current_span_id() if collect else None
+    n = len(args_list)
+    results: list = [None] * n
+    stale = 0
+
+    # With a timeout, abandoned-but-still-running workers keep their
+    # slot until they finish; keep the full worker budget as headroom
+    # so a rerun is not queued behind the very attempt it replaces.
+    pool = ProcessPoolExecutor(
+        max_workers=n_workers if policy.timeout is not None else min(n_workers, n)
+    )
+
+    def submit(idx: int):
+        if collect:
+            return pool.submit(
+                _run_with_telemetry, fn, args_list[idx], trace_id, parent_span_id
+            )
+        return pool.submit(fn, *args_list[idx])
+
+    def abandon(idx: int, attempts: int, last: BaseException | None):
+        telemetry.counter("retry.abandoned")
+        telemetry.event(
+            "retry.abandon", arm=idx, attempts=attempts, error=repr(last)
+        )
+        pool.shutdown(wait=False, cancel_futures=True)
+        raise ArmAbandonedError(idx, attempts, last)
+
+    pending = {}  # future -> (arm_idx, attempt, start_time)
+    ready: list[tuple[float, int, int, BaseException | None]] = []
+    try:
+        for i in range(n):
+            pending[submit(i)] = (i, 1, time.monotonic())
+        while pending or ready:
+            now = time.monotonic()
+            for entry in [e for e in ready if e[0] <= now]:
+                ready.remove(entry)
+                _, idx, attempt, last = entry
+                telemetry.counter("retry.attempts")
+                telemetry.event(
+                    "retry.arm", arm=idx, attempt=attempt, error=repr(last)
+                )
+                pending[submit(idx)] = (idx, attempt, time.monotonic())
+            if not pending:
+                time.sleep(max(0.0, min(e[0] for e in ready) - time.monotonic()))
+                continue
+            wait_timeout = (
+                0.05 if (ready or policy.timeout is not None) else None
+            )
+            done, _ = wait(
+                list(pending), timeout=wait_timeout, return_when=FIRST_COMPLETED
+            )
+            now = time.monotonic()
+            for f in done:
+                idx, attempt, _started = pending.pop(f)
+                exc = f.exception()
+                if exc is None:
+                    results[idx] = f.result()
+                    if attempt > 1:
+                        telemetry.counter("retry.succeeded_after_retry")
+                elif attempt >= policy.max_attempts:
+                    abandon(idx, attempt, exc)
+                else:
+                    ready.append(
+                        (now + policy.delay_before(attempt + 1), idx,
+                         attempt + 1, exc)
+                    )
+            if policy.timeout is not None:
+                for f, (idx, attempt, started) in list(pending.items()):
+                    if now - started <= policy.timeout:
+                        continue
+                    pending.pop(f)
+                    f.cancel()  # no-op if running; the result is discarded
+                    stale += 1
+                    telemetry.counter("retry.timeouts")
+                    telemetry.event(
+                        "retry.timeout", arm=idx, attempt=attempt,
+                        timeout_s=policy.timeout,
+                    )
+                    if attempt >= policy.max_attempts:
+                        abandon(idx, attempt, None)
+                    ready.append(
+                        (now + policy.delay_before(attempt + 1), idx,
+                         attempt + 1, None)
+                    )
+    finally:
+        # Timed-out workers may still be running; don't block on them.
+        pool.shutdown(wait=stale == 0, cancel_futures=True)
+
+    if collect:
+        plain = []
+        for result, report, records in results:
+            telemetry.merge_report(report)
+            for record in records:
+                telemetry.emit_raw(record)
+            plain.append(result)
+        return plain
+    return results
+
+
 def run_parallel(
     fn: Callable,
     args_list: Sequence[tuple],
     *,
     n_workers: int | None = None,
+    retry: RetryPolicy | None = None,
 ) -> list:
     """``[fn(*args) for args in args_list]``, fanned over processes.
 
@@ -74,6 +226,12 @@ def run_parallel(
     (no pool), which is also the fallback when only one arm exists.
     If an arm raises, pending arms are cancelled and the earliest
     failure is re-raised (fail-fast).
+
+    With a :class:`~repro.resilience.retry.RetryPolicy`, a failed (or,
+    in the pool path, timed-out) arm reruns with exponential backoff
+    up to ``retry.max_attempts`` total attempts before the run fails
+    with :class:`~repro.resilience.retry.ArmAbandonedError`; retries
+    are visible as ``retry.*`` counters and events.
     """
     args_list = list(args_list)
     if n_workers is None:
@@ -82,7 +240,11 @@ def run_parallel(
         raise ValueError(f"n_workers must be >= 1, got {n_workers}")
     if n_workers == 1 or len(args_list) <= 1:
         # Inline arms record straight into the parent registry.
+        if retry is not None:
+            return _retry_inline(fn, args_list, retry)
         return [fn(*args) for args in args_list]
+    if retry is not None:
+        return _retry_pool(fn, args_list, n_workers, retry)
 
     collect_telemetry = telemetry.enabled
     with ProcessPoolExecutor(max_workers=min(n_workers, len(args_list))) as pool:

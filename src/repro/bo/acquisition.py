@@ -278,7 +278,161 @@ class ThompsonSampling(AcquisitionFunction):
         return np.array(chosen, dtype=int)
 
 
-_REGISTRY = {"qnei": QNEI, "qei": QEI, "qucb": QUCB, "qsr": QSR, "ts": ThompsonSampling}
+class RandomDesignAcquisition(AcquisitionFunction):
+    """Uniform-random batch selection — the ladder's always-feasible rung.
+
+    Never touches the surrogate, so it cannot fail on an
+    ill-conditioned posterior; the BO loop degenerates to random
+    search, which is exactly the graceful floor the degradation ladder
+    wants.
+    """
+
+    name = "random"
+
+    def __init__(self, n_samples: int = 2) -> None:
+        super().__init__(n_samples)
+
+    def evaluate(self, sampler, candidates, *, observed_x=None, observed_z=None, rng=None):
+        return 0.0
+
+    def select_batch(
+        self,
+        sampler,
+        pool,
+        batch_size,
+        *,
+        observed_x=None,
+        observed_z=None,
+        rng=None,
+    ) -> np.ndarray:
+        pool = np.atleast_2d(np.asarray(pool, dtype=float))
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        if pool.shape[0] < batch_size:
+            raise ValueError(
+                f"pool has {pool.shape[0]} points but batch_size={batch_size}"
+            )
+        gen = as_generator(rng)
+        telemetry.counter("bo.acq_selections")
+        self.last_batch_value = 0.0
+        return np.sort(gen.choice(pool.shape[0], size=batch_size, replace=False))
+
+
+#: Exceptions a degraded model stack may raise during batch selection
+#: that the fallback ladder is allowed to absorb.
+_RECOVERABLE = (
+    np.linalg.LinAlgError,
+    FloatingPointError,
+    ValueError,
+    RuntimeError,
+)
+
+
+class FallbackAcquisition(AcquisitionFunction):
+    """Degradation ladder over acquisition rungs (qNEI → qUCB → random).
+
+    Tries each rung's :meth:`select_batch` in order; a rung failing
+    with a numerical error (singular posterior, non-finite samples, …)
+    drops to the next.  A :class:`RandomDesignAcquisition` terminal
+    rung is appended automatically, so selection as a whole cannot
+    raise on model pathology — the run degrades instead of dying.
+    Fallbacks are counted (``bo.acq_fallbacks``) and logged as
+    ``fault.acq_fallback`` events; :attr:`active_rung` names the rung
+    that produced the last batch.
+    """
+
+    name = "fallback"
+
+    def __init__(self, *rungs: AcquisitionFunction) -> None:
+        if not rungs:
+            raise ValueError("FallbackAcquisition needs at least one rung")
+        ladder = list(rungs)
+        if not isinstance(ladder[-1], RandomDesignAcquisition):
+            ladder.append(RandomDesignAcquisition())
+        self.rungs: tuple[AcquisitionFunction, ...] = tuple(ladder)
+        self.n_samples = max(getattr(r, "n_samples", 2) for r in self.rungs)
+        self.active_rung: str = self.rungs[0].name
+
+    def evaluate(self, sampler, candidates, *, observed_x=None, observed_z=None, rng=None):
+        for rung in self.rungs:
+            try:
+                return rung.evaluate(
+                    sampler,
+                    candidates,
+                    observed_x=observed_x,
+                    observed_z=observed_z,
+                    rng=rng,
+                )
+            except _RECOVERABLE:
+                continue
+        return 0.0
+
+    def select_batch(
+        self,
+        sampler,
+        pool,
+        batch_size,
+        *,
+        observed_x=None,
+        observed_z=None,
+        rng=None,
+    ) -> np.ndarray:
+        last_exc: BaseException | None = None
+        for i, rung in enumerate(self.rungs):
+            try:
+                idx = rung.select_batch(
+                    sampler,
+                    pool,
+                    batch_size,
+                    observed_x=observed_x,
+                    observed_z=observed_z,
+                    rng=rng,
+                )
+            except _RECOVERABLE as exc:
+                last_exc = exc
+                telemetry.counter("bo.acq_fallbacks")
+                telemetry.event(
+                    "fault.acq_fallback",
+                    failed_rung=rung.name,
+                    error=f"{type(exc).__name__}: {exc}",
+                    next_rung=(
+                        self.rungs[i + 1].name if i + 1 < len(self.rungs) else None
+                    ),
+                )
+                continue
+            self.active_rung = rung.name
+            self.last_batch_value = rung.last_batch_value
+            return idx
+        # The random terminal rung only raises on caller errors
+        # (bad batch_size / empty pool) — those must surface.
+        assert last_exc is not None
+        raise last_exc
+
+
+def default_ladder(
+    primary: AcquisitionFunction, *, n_samples: int | None = None
+) -> FallbackAcquisition:
+    """The paper pipeline's standard ladder: primary → qUCB → random.
+
+    Idempotent: a primary that is already a ladder comes back as-is.
+    """
+    if isinstance(primary, FallbackAcquisition):
+        return primary
+    n = n_samples or getattr(primary, "n_samples", 32)
+    rungs = [primary]
+    if not isinstance(primary, QUCB):
+        rungs.append(QUCB(n_samples=n))
+    return FallbackAcquisition(*rungs)
+
+
+_REGISTRY = {
+    "qnei": QNEI,
+    "qei": QEI,
+    "qucb": QUCB,
+    "qsr": QSR,
+    "ts": ThompsonSampling,
+    "random": RandomDesignAcquisition,
+}
 
 
 def make_acquisition(name: str, *, n_samples: int = 64, **kwargs) -> AcquisitionFunction:

@@ -55,6 +55,25 @@ class BOResult:
     observed_z: np.ndarray | None = None
 
 
+@dataclass
+class BOLoopState:
+    """Resumable snapshot of an in-flight BO run.
+
+    Captured at the end of a completed iteration (see
+    ``checkpoint_every``); feeding it back through ``run(resume=...)``
+    continues from ``next_iteration`` exactly where the interrupted
+    run left off.  The model and RNG state live *outside* this object
+    — callers (:mod:`repro.resilience.checkpoint`) serialize the whole
+    scheduler alongside it so the continuation is bit-identical.
+    """
+
+    observed_x: np.ndarray | None
+    observed_z: np.ndarray | None
+    history: list[float]
+    z_prev: float | None
+    next_iteration: int
+
+
 class BOLoop:
     """Iterate: acquire batch → observe → update → check convergence.
 
@@ -86,6 +105,11 @@ class BOLoop:
         each model update — but only while telemetry is enabled, so
         callers can emit model-health events (GP hyperparameters,
         preference fidelity, …) without adding disabled-path cost.
+    checkpoint_every, on_checkpoint:
+        Every ``checkpoint_every`` completed iterations (0 disables)
+        the loop calls ``on_checkpoint(state)`` with a
+        :class:`BOLoopState` snapshot; pass the state back through
+        ``run(resume=...)`` to continue an interrupted run.
     """
 
     def __init__(
@@ -101,6 +125,8 @@ class BOLoop:
         n_iterations: int | None = None,
         max_iters: int | None = None,
         on_iteration: Callable[[int], None] | None = None,
+        checkpoint_every: int = 0,
+        on_checkpoint: Callable[["BOLoopState"], None] | None = None,
         rng: RngLike = None,
     ) -> None:
         n_iterations = resolve_deprecated(
@@ -120,6 +146,12 @@ class BOLoop:
             raise ValueError(f"n_iterations must be >= 1, got {n_iterations}")
         self.n_iterations = int(n_iterations)
         self.on_iteration = on_iteration
+        if checkpoint_every < 0:
+            raise ValueError(
+                f"checkpoint_every must be >= 0, got {checkpoint_every}"
+            )
+        self.checkpoint_every = int(checkpoint_every)
+        self.on_checkpoint = on_checkpoint
         self._rng = as_generator(rng)
 
     @property
@@ -132,29 +164,57 @@ class BOLoop:
         *,
         initial_x: np.ndarray | None = None,
         initial_z: np.ndarray | None = None,
+        resume: BOLoopState | None = None,
     ) -> BOResult:
-        """Run to convergence; optional warm-start observations."""
-        observed_x = (
-            np.atleast_2d(np.asarray(initial_x, dtype=float))
-            if initial_x is not None and len(initial_x) > 0
-            else None
-        )
-        observed_z = (
-            np.asarray(initial_z, dtype=float)
-            if initial_z is not None and len(initial_z) > 0
-            else None
-        )
-        if (observed_x is None) != (observed_z is None):
-            raise ValueError("initial_x and initial_z must be given together")
-        if observed_x is not None and observed_x.shape[0] != observed_z.shape[0]:
-            raise ValueError("initial_x and initial_z lengths differ")
+        """Run to convergence; optional warm-start observations.
 
-        history: list[float] = []
-        z_prev: float | None = None
+        ``resume`` continues an interrupted run from a
+        :class:`BOLoopState` checkpoint (mutually exclusive with
+        ``initial_x``/``initial_z`` — the state already carries the
+        observations).
+        """
+        if resume is not None:
+            if initial_x is not None or initial_z is not None:
+                raise ValueError("pass either resume or initial_x/initial_z, not both")
+            observed_x = (
+                None if resume.observed_x is None
+                else np.atleast_2d(np.asarray(resume.observed_x, dtype=float))
+            )
+            observed_z = (
+                None if resume.observed_z is None
+                else np.asarray(resume.observed_z, dtype=float)
+            )
+            history = list(resume.history)
+            z_prev = resume.z_prev
+            start_iteration = max(1, int(resume.next_iteration))
+            telemetry.event(
+                "bo.resume",
+                next_iteration=start_iteration,
+                n_observed=0 if observed_x is None else int(observed_x.shape[0]),
+            )
+        else:
+            observed_x = (
+                np.atleast_2d(np.asarray(initial_x, dtype=float))
+                if initial_x is not None and len(initial_x) > 0
+                else None
+            )
+            observed_z = (
+                np.asarray(initial_z, dtype=float)
+                if initial_z is not None and len(initial_z) > 0
+                else None
+            )
+            if (observed_x is None) != (observed_z is None):
+                raise ValueError("initial_x and initial_z must be given together")
+            if observed_x is not None and observed_x.shape[0] != observed_z.shape[0]:
+                raise ValueError("initial_x and initial_z lengths differ")
+            history = []
+            z_prev = None
+            start_iteration = 1
+
         converged = False
-        n_iter = 0
+        n_iter = start_iteration - 1
 
-        for n_iter in range(1, self.n_iterations + 1):
+        for n_iter in range(start_iteration, self.n_iterations + 1):
             t_iter = time.perf_counter()
             with telemetry.span("bo.candidates"):
                 pool = np.atleast_2d(self.candidates(self._rng))
@@ -219,6 +279,22 @@ class BOLoop:
                 converged = True
                 break
             z_prev = z_best
+            if (
+                self.on_checkpoint is not None
+                and self.checkpoint_every > 0
+                and n_iter % self.checkpoint_every == 0
+                and n_iter < self.n_iterations
+            ):
+                with telemetry.span("bo.checkpoint"):
+                    self.on_checkpoint(
+                        BOLoopState(
+                            observed_x=observed_x,
+                            observed_z=observed_z,
+                            history=list(history),
+                            z_prev=z_prev,
+                            next_iteration=n_iter + 1,
+                        )
+                    )
 
         assert observed_x is not None and observed_z is not None
         best = int(np.argmax(observed_z))

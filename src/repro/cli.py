@@ -15,12 +15,20 @@ Commands:
   final benefit; exits non-zero on regression (CI perf gate);
 * ``trace`` — export a telemetry log to Chrome ``trace_event`` JSON
   for Perfetto / ``chrome://tracing``;
+* ``chaos`` — run a scheduler under a deterministic fault plan
+  (server crashes, bandwidth drops, stream churn) and report each
+  post-fault epoch's benefit against the fault-free baseline;
 * ``info`` — version and module inventory.
+
+``optimize`` also understands ``--checkpoint PATH`` /
+``--checkpoint-every N`` (periodically pickle a resumable snapshot)
+and ``--resume CKPT`` (continue an interrupted run bit-identically).
 """
 
 from __future__ import annotations
 
 import argparse
+import pickle
 import sys
 from typing import Sequence
 
@@ -35,8 +43,14 @@ def _check_writable(path: str) -> str | None:
 
     try:
         p = Path(path)
+        existed = p.exists()
         p.parent.mkdir(parents=True, exist_ok=True)
         p.open("a").close()
+        # Don't leave an empty probe artifact behind: a run that never
+        # writes the file (e.g. converges before its first checkpoint)
+        # must not look like it produced a corrupt one.
+        if not existed:
+            p.unlink()
     except OSError as exc:
         return str(exc)
     return None
@@ -60,32 +74,72 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
     from repro.obs import telemetry
     from repro.utils import as_generator
 
-    gen = as_generator(args.seed)
-    if args.bandwidths:
-        bw = [float(b) for b in args.bandwidths.split(",")]
-        if len(bw) != args.servers:
-            print(
-                f"error: --bandwidths gives {len(bw)} values for "
-                f"{args.servers} servers",
-                file=sys.stderr,
-            )
+    resume_path = getattr(args, "resume", "") or ""
+    resume_state = None
+    if resume_path:
+        from repro.resilience.checkpoint import load_checkpoint
+
+        try:
+            ckpt = load_checkpoint(resume_path)
+        except (OSError, ValueError, EOFError, pickle.UnpicklingError) as exc:
+            print(f"error: cannot resume from {resume_path}: {exc}", file=sys.stderr)
             return 2
-    else:
-        bw = gen.choice([5.0, 10.0, 15.0, 20.0, 25.0, 30.0], args.servers).tolist()
-    problem = EVAProblem(n_streams=args.streams, bandwidths_mbps=bw)
-
-    weights = (
-        [float(w) for w in args.weights.split(",")] if args.weights else None
-    )
-    pref = make_preference(problem, weights=weights)
-
-    try:
-        scheduler = make_scheduler(
-            args.method, problem, preference=pref, rng=args.seed
+        scheduler = ckpt.scheduler
+        resume_state = ckpt.bo_state
+        problem = scheduler.problem
+        bw = [float(b) for b in problem.bandwidths_mbps]
+        pref = getattr(scheduler.decision_maker, "preference", None)
+        if pref is None:
+            pref = make_preference(problem)
+        print(
+            f"resuming {scheduler.name} from {resume_path} "
+            f"(after iteration {ckpt.iteration})"
         )
-    except ValueError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
+    else:
+        gen = as_generator(args.seed)
+        if args.bandwidths:
+            bw = [float(b) for b in args.bandwidths.split(",")]
+            if len(bw) != args.servers:
+                print(
+                    f"error: --bandwidths gives {len(bw)} values for "
+                    f"{args.servers} servers",
+                    file=sys.stderr,
+                )
+                return 2
+        else:
+            bw = gen.choice([5.0, 10.0, 15.0, 20.0, 25.0, 30.0], args.servers).tolist()
+        problem = EVAProblem(n_streams=args.streams, bandwidths_mbps=bw)
+
+        weights = (
+            [float(w) for w in args.weights.split(",")] if args.weights else None
+        )
+        pref = make_preference(problem, weights=weights)
+
+        extra = {}
+        if getattr(args, "checkpoint", ""):
+            if err := _check_writable(args.checkpoint):
+                print(f"error: cannot write checkpoint: {err}", file=sys.stderr)
+                return 2
+            extra = {
+                "checkpoint_path": args.checkpoint,
+                "checkpoint_every": args.checkpoint_every,
+            }
+        try:
+            scheduler = make_scheduler(
+                args.method, problem, preference=pref, rng=args.seed, **extra
+            )
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        except TypeError:
+            if extra:
+                print(
+                    f"error: method {args.method!r} does not support "
+                    "checkpointing (--checkpoint)",
+                    file=sys.stderr,
+                )
+                return 2
+            raise
 
     telemetry_path = getattr(args, "telemetry", "") or ""
     profile = bool(getattr(args, "profile", False))
@@ -97,7 +151,10 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
         telemetry.enable(telemetry_path or None, profile=profile)
     try:
         with telemetry.span("cli.optimize"):
-            out = scheduler.optimize()
+            if resume_state is not None:
+                out = scheduler.optimize(resume=resume_state)
+            else:
+                out = scheduler.optimize()
         if telemetry.enabled:
             telemetry.event(
                 "optimize.done",
@@ -376,6 +433,133 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 1 if result.regressed else 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.baselines import make_scheduler
+    from repro.bench.reporting import format_table
+    from repro.core import EVAProblem, make_preference
+    from repro.obs import telemetry
+    from repro.resilience import ChaosRunner, FaultPlan
+    from repro.utils import as_generator
+
+    gen = as_generator(args.seed)
+    if args.bandwidths:
+        bw = [float(b) for b in args.bandwidths.split(",")]
+        if len(bw) != args.servers:
+            print(
+                f"error: --bandwidths gives {len(bw)} values for "
+                f"{args.servers} servers",
+                file=sys.stderr,
+            )
+            return 2
+    else:
+        bw = gen.choice([5.0, 10.0, 15.0, 20.0, 25.0, 30.0], args.servers).tolist()
+    problem = EVAProblem(n_streams=args.streams, bandwidths_mbps=bw)
+    weights = (
+        [float(w) for w in args.weights.split(",")] if args.weights else None
+    )
+    pref = make_preference(problem, weights=weights)
+
+    try:
+        if args.faults:
+            plan = FaultPlan.from_specs(
+                [s for s in args.faults.split(",") if s.strip()]
+            )
+        else:
+            plan = FaultPlan.random(
+                n_servers=args.servers,
+                n_streams=args.streams,
+                horizon=args.horizon,
+                n_faults=args.n_faults,
+                rng=args.seed,
+            )
+    except ValueError as exc:
+        print(f"error: bad fault plan: {exc}", file=sys.stderr)
+        return 2
+
+    def factory(prob):
+        return make_scheduler(args.method, prob, preference=pref, rng=args.seed)
+
+    telemetry_path = getattr(args, "telemetry", "") or ""
+    if telemetry_path and (err := _check_writable(telemetry_path)):
+        print(f"error: cannot write telemetry log: {err}", file=sys.stderr)
+        return 2
+    if telemetry_path:
+        telemetry.enable(telemetry_path)
+    try:
+        try:
+            runner = ChaosRunner(problem, plan, factory, preference=pref)
+            report = runner.run()
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    finally:
+        if telemetry_path:
+            telemetry.emit_summary(method=args.method, seed=args.seed)
+            telemetry.disable()
+
+    print(
+        f"method: {args.method}   servers: {np.round(bw, 1).tolist()} Mbps   "
+        f"streams: {args.streams}"
+    )
+    print(f"fault plan ({len(plan)} events):")
+    for e in plan:
+        extra = f" x{e.value}" if e.value is not None else ""
+        print(f"  t={e.time:g}  {e.kind}:{e.target}{extra}")
+    print(f"baseline benefit: {report.baseline_benefit:.4f}")
+    rows = []
+    scale = max(abs(report.baseline_benefit), 1e-12)
+    for ep in report.epochs:
+        drop = (
+            "-"
+            if ep.benefit is None
+            else f"{max(0.0, (report.baseline_benefit - ep.benefit) / scale):.1%}"
+        )
+        rows.append(
+            [
+                ep.index,
+                f"{ep.time:g}",
+                ",".join(f"{e.kind}:{e.target}" for e in ep.events),
+                ep.n_servers,
+                ep.n_streams,
+                "-" if ep.benefit is None else f"{ep.benefit:.4f}",
+                drop,
+                "yes" if ep.feasible else "NO",
+            ]
+        )
+    print(
+        format_table(
+            ["epoch", "t", "events", "servers", "streams", "benefit", "drop", "feasible"],
+            rows,
+        )
+    )
+    if args.output:
+        import json
+        from pathlib import Path
+
+        Path(args.output).parent.mkdir(parents=True, exist_ok=True)
+        Path(args.output).write_text(
+            json.dumps(report.to_dict(), indent=2, sort_keys=True)
+        )
+        print(f"chaos report written to {args.output}")
+    if telemetry_path:
+        print(f"telemetry events written to {telemetry_path}")
+    if not report.all_feasible:
+        print("FAIL: an epoch produced no feasible schedule", file=sys.stderr)
+        return 1
+    if args.max_drop is not None:
+        drop = report.worst_drop
+        if drop is None or drop > args.max_drop:
+            print(
+                f"FAIL: worst benefit drop "
+                f"{'n/a' if drop is None else f'{drop:.1%}'} exceeds "
+                f"--max-drop {args.max_drop:.1%}",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"worst benefit drop {drop:.1%} within --max-drop {args.max_drop:.1%}")
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.obs.trace import load_events, write_chrome_trace
 
@@ -437,6 +621,27 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run the scheduler under cProfile and print top functions",
     )
+    p_opt.add_argument(
+        "--checkpoint",
+        type=str,
+        default="",
+        metavar="PATH",
+        help="pickle a resumable checkpoint here every --checkpoint-every iterations",
+    )
+    p_opt.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=2,
+        metavar="N",
+        help="BO iterations between checkpoints (with --checkpoint; default 2)",
+    )
+    p_opt.add_argument(
+        "--resume",
+        type=str,
+        default="",
+        metavar="CKPT",
+        help="resume an interrupted run from a checkpoint (ignores problem flags)",
+    )
     p_opt.set_defaults(func=_cmd_optimize)
 
     p_fig = sub.add_parser("figure", help="regenerate a paper figure")
@@ -476,6 +681,56 @@ def build_parser() -> argparse.ArgumentParser:
         help="regression threshold, e.g. 10%% or 0.1 (default: 10%%)",
     )
     p_cmp.set_defaults(func=_cmd_compare)
+
+    p_chaos = sub.add_parser(
+        "chaos", help="run a scheduler under a fault plan; compare to fault-free"
+    )
+    p_chaos.add_argument("--streams", type=int, default=6)
+    p_chaos.add_argument("--servers", type=int, default=4)
+    p_chaos.add_argument(
+        "--bandwidths", type=str, default="", help="comma list of Mbps per server"
+    )
+    p_chaos.add_argument(
+        "--weights", type=str, default="", help="comma list: ltc,acc,net,com,eng"
+    )
+    p_chaos.add_argument(
+        "--method", type=str, default="pamo", help="registered scheduler name"
+    )
+    p_chaos.add_argument("--seed", type=int, default=0)
+    p_chaos.add_argument(
+        "--faults",
+        type=str,
+        default="",
+        help=(
+            "comma list of fault specs <kind>:<target>@<time>[x<value>], "
+            "e.g. 'crash:1@0.5,bw:0@2.0x0.25,recover:1@4.0'; "
+            "empty = seeded random plan"
+        ),
+    )
+    p_chaos.add_argument(
+        "--n-faults", type=int, default=3, help="events in the random plan"
+    )
+    p_chaos.add_argument(
+        "--horizon", type=float, default=10.0, help="random-plan time horizon (s)"
+    )
+    p_chaos.add_argument(
+        "--max-drop",
+        type=float,
+        default=None,
+        metavar="FRAC",
+        help="fail (exit 1) if the worst benefit drop exceeds this fraction",
+    )
+    p_chaos.add_argument(
+        "--output", type=str, default="", help="write the chaos report JSON here"
+    )
+    p_chaos.add_argument(
+        "--telemetry",
+        type=str,
+        default="",
+        metavar="PATH",
+        help="write a JSONL telemetry event log (fault.* / chaos.* events)",
+    )
+    p_chaos.set_defaults(func=_cmd_chaos)
 
     p_tr = sub.add_parser(
         "trace", help="export a telemetry log to Chrome trace_event JSON"

@@ -26,8 +26,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.bo.acquisition import AcquisitionFunction, make_acquisition
-from repro.bo.loop import BOLoop
+from repro.bo.acquisition import AcquisitionFunction, default_ladder, make_acquisition
+from repro.bo.loop import BOLoop, BOLoopState
 from repro.core.problem import EVAProblem
 from repro.core.result import OptimizationOutcome, ScheduleDecision
 from repro.core.scheduler import SchedulerMixin
@@ -41,6 +41,7 @@ from repro.outcomes.functions import OBJECTIVES
 from repro.outcomes.surrogate import OutcomeSurrogateBank
 from repro.pref.decision_maker import DecisionMaker, TruePreference
 from repro.pref.learner import PreferenceLearner
+from repro.sched.grouping import InfeasibleScheduleError
 from repro.utils import as_generator, check_positive
 from repro.utils.compat import absorb_positional, resolve_deprecated
 from repro.utils.rng import RngLike
@@ -175,6 +176,15 @@ class PaMO(SchedulerMixin):
         BO controls (b, δ, MaxIterNum, MC sample count).
     profile_noise:
         Relative measurement noise applied when profiling outcomes.
+    resilient:
+        Degrade instead of dying: wrap the acquisition in the
+        qNEI → qUCB → random fallback ladder and return a known-
+        feasible schedule if the BO loop hits a model pathology.  The
+        non-faulty path is bit-identical with or without it.
+    checkpoint_path, checkpoint_every:
+        When both are set, pickle a resumable checkpoint of the whole
+        scheduler every ``checkpoint_every`` completed BO iterations
+        (see :mod:`repro.resilience.checkpoint`).
     """
 
     method_name = "PaMO"
@@ -196,6 +206,9 @@ class PaMO(SchedulerMixin):
         n_mc_samples: int = 32,
         n_pool: int = 24,
         profile_noise: float = 0.02,
+        resilient: bool = True,
+        checkpoint_path: str | None = None,
+        checkpoint_every: int = 0,
         rng: RngLike = None,
     ) -> None:
         shim = absorb_positional(
@@ -232,12 +245,20 @@ class PaMO(SchedulerMixin):
         self.profile_noise = check_positive(
             "profile_noise", profile_noise, strict=False
         )
+        self.resilient = bool(resilient)
+        self.checkpoint_path = checkpoint_path
+        if checkpoint_every < 0:
+            raise ValueError(
+                f"checkpoint_every must be >= 0, got {checkpoint_every}"
+            )
+        self.checkpoint_every = int(checkpoint_every)
         self._rng = as_generator(rng)
 
         self.bank: OutcomeSurrogateBank | None = None
         self.learner: PreferenceLearner | None = None
         self._incumbent: tuple[float, np.ndarray] | None = None
         self._incumbent_outcome: np.ndarray | None = None
+        self._last_observed: tuple[np.ndarray, np.ndarray] | None = None
 
     @property
     def max_iters(self) -> int:
@@ -441,12 +462,148 @@ class PaMO(SchedulerMixin):
             return
         self.learner.compare_against(outcomes, self._incumbent_outcome)
 
-    def optimize(self) -> OptimizationOutcome:
-        """Run all three phases; return the recommended decision."""
-        with telemetry.span("pamo.optimize"):
-            return self._optimize()
+    def _save_checkpoint(self, state: BOLoopState) -> None:
+        """BOLoop checkpoint hook: persist the whole scheduler + loop state."""
+        assert self.checkpoint_path is not None
+        import repro.resilience.checkpoint as ckpt_mod
 
-    def _optimize(self) -> OptimizationOutcome:
+        ckpt_mod.save_checkpoint(
+            self.checkpoint_path,
+            scheduler=self,
+            bo_state=state,
+            method=self.method_name,
+            iteration=state.next_iteration - 1,
+        )
+
+    def _score_outcomes(self, outcomes: np.ndarray) -> np.ndarray:
+        """Benefit of outcome vectors under this scheduler's utility head."""
+        return self._benefit_of({"outcomes": np.atleast_2d(outcomes)})
+
+    def _fallback_schedule(self, error: BaseException) -> OptimizationOutcome:
+        """Last rung of the degradation ladder: a known-feasible decision.
+
+        When the BO loop itself dies on a model pathology, fall back to
+        the best decision already observed (if it is still feasible on
+        the current topology) or to the minimum configuration, which is
+        feasible in any schedulable system.  The run degrades — it does
+        not crash.
+        """
+        telemetry.counter("pamo.bo_fallbacks")
+        space = self.problem.config_space
+        m = self.problem.n_streams
+        source = "min_config"
+        r = np.full(m, min(space.resolutions))
+        s = np.full(m, min(space.fps_values))
+        if self._incumbent is not None:
+            inc_r, inc_s = self.problem.decode(self._incumbent[1])
+            if self.problem.is_feasible(inc_r, inc_s):
+                r, s = inc_r, inc_s
+                source = "incumbent"
+        assignment, _ = self.problem.schedule(r, s)
+        outcome = self.problem.evaluate(r, s)
+        z = float(self._score_outcomes(outcome)[0])
+        telemetry.event(
+            "fault.bo_fallback",
+            source=source,
+            error=f"{type(error).__name__}: {error}",
+        )
+        decision = ScheduleDecision(
+            resolutions=r,
+            fps=s,
+            assignment=assignment,
+            outcome=outcome,
+            benefit=z,
+            method=self.method_name,
+        )
+        return OptimizationOutcome(
+            decision=decision,
+            n_iterations=0,
+            converged=False,
+            history=[],
+            n_dm_queries=self.decision_maker.n_queries,
+            extras={
+                "fallback": source,
+                "error": f"{type(error).__name__}: {error}",
+            },
+        )
+
+    def replan(self, new_problem: EVAProblem, *, reason: str = "") -> OptimizationOutcome:
+        """Re-optimize after a topology change, warm-starting from history.
+
+        The outcome-GP bank and preference learner are models over
+        per-stream knobs and outcome vectors respectively — both
+        topology-independent — so they carry over untouched.  Observed
+        *benefits* do not: transmission latency depends on which servers
+        exist, so prior observations are re-scored on ``new_problem``
+        (and dropped entirely if the stream count changed, since the
+        decision vector dimension differs).  Observations infeasible on
+        the new topology are dropped.
+        """
+        with telemetry.span("pamo.replan"):
+            old_problem = self.problem
+            same_dim = new_problem.n_streams == old_problem.n_streams
+            self.problem = new_problem
+            warm_x = warm_z = None
+            kept = dropped = 0
+            if same_dim and self._last_observed is not None:
+                keep_x, outs = [], []
+                for x in np.unique(
+                    np.atleast_2d(self._last_observed[0]), axis=0
+                ):
+                    r, s = new_problem.decode(x)
+                    if new_problem.is_feasible(r, s):
+                        keep_x.append(np.asarray(x, dtype=float))
+                        outs.append(new_problem.evaluate(r, s))
+                    else:
+                        dropped += 1
+                kept = len(keep_x)
+                if kept:
+                    warm_x = np.stack(keep_x)
+                    warm_z = np.asarray(
+                        self._score_outcomes(np.stack(outs)), dtype=float
+                    )
+            elif self._last_observed is not None:
+                dropped = int(np.atleast_2d(self._last_observed[0]).shape[0])
+            # The incumbent's benefit embeds the old topology's latency;
+            # re-derive it from the re-scored warm set.
+            self._incumbent = None
+            self._incumbent_outcome = None
+            self._last_observed = None
+            if warm_z is not None and warm_z.size:
+                best = int(np.argmax(warm_z))
+                self._incumbent = (float(warm_z[best]), warm_x[best].copy())
+                self._incumbent_outcome = np.asarray(outs[best], dtype=float)
+            telemetry.counter("pamo.replans")
+            telemetry.event(
+                "fault.replan",
+                reason=reason,
+                n_servers_before=int(old_problem.n_servers),
+                n_servers_after=int(new_problem.n_servers),
+                n_streams_before=int(old_problem.n_streams),
+                n_streams_after=int(new_problem.n_streams),
+                observations_kept=kept,
+                observations_dropped=dropped,
+            )
+            return self._optimize(warm_x=warm_x, warm_z=warm_z)
+
+    def optimize(self, *, resume: BOLoopState | None = None) -> OptimizationOutcome:
+        """Run all three phases; return the recommended decision.
+
+        ``resume`` continues an interrupted run from a checkpointed
+        :class:`~repro.bo.loop.BOLoopState` (see
+        :mod:`repro.resilience.checkpoint`) — only meaningful on a
+        scheduler object restored from the same checkpoint, where the
+        models and RNG are in their at-checkpoint state.
+        """
+        with telemetry.span("pamo.optimize"):
+            return self._optimize(resume=resume)
+
+    def _optimize(
+        self,
+        resume: BOLoopState | None = None,
+        warm_x: np.ndarray | None = None,
+        warm_z: np.ndarray | None = None,
+    ) -> OptimizationOutcome:
         if self.bank is None:
             self.fit_outcome_models()
         if self.learner is None and not isinstance(self, PaMOPlus):
@@ -471,20 +628,42 @@ class PaMO(SchedulerMixin):
                 self._incumbent_outcome = obs["outcomes"][best].copy()
             return z
 
+        # The acquisition ladder only changes behavior when the primary
+        # rung fails (its success path delegates verbatim, same RNG
+        # stream), so seeded non-faulty runs are unaffected.
+        acquisition = (
+            default_ladder(self.acquisition) if self.resilient else self.acquisition
+        )
+        checkpointing = (
+            self.checkpoint_path is not None and self.checkpoint_every > 0
+        )
         loop = BOLoop(
             adapter,
             observe=self._observe,
             benefit_of=benefit_with_tracking,
             candidates=self._candidates,
-            acquisition=self.acquisition,
+            acquisition=acquisition,
             batch_size=self.batch_size,
             delta=self.delta,
             n_iterations=self.n_iterations,
             on_iteration=self._emit_iteration_diagnostics,
+            checkpoint_every=self.checkpoint_every if checkpointing else 0,
+            on_checkpoint=self._save_checkpoint if checkpointing else None,
             rng=self._rng,
         )
-        with telemetry.span("pamo.bo_loop"):
-            res = loop.run()
+        try:
+            with telemetry.span("pamo.bo_loop"):
+                res = loop.run(initial_x=warm_x, initial_z=warm_z, resume=resume)
+        except (
+            np.linalg.LinAlgError,
+            FloatingPointError,
+            InfeasibleScheduleError,
+            RuntimeError,
+        ) as exc:
+            if not self.resilient:
+                raise
+            return self._fallback_schedule(exc)
+        self._last_observed = (res.observed_x, res.observed_z)
         r, s = self.problem.decode(res.best_x)
         assignment, _ = self.problem.schedule(r, s)
         outcome = self.problem.evaluate(r, s)

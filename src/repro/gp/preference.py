@@ -104,7 +104,12 @@ class PreferenceGP:
         self.noise_scale = check_positive("noise_scale", noise_scale)
         self.max_newton_iter = int(max_newton_iter)
         self.tol = float(tol)
+        #: Whether the last Newton MAP search stopped at its own
+        #: criterion (step below tol / no ascent left) rather than the
+        #: iteration cap.  ``False`` means the MAP is approximate.
+        self.converged: bool = False
         self._data: ComparisonData | None = None
+        self._train_items: np.ndarray | None = None
         self._g_map: np.ndarray | None = None
         self._b: np.ndarray | None = None  # K⁻¹ ĝ at the optimum
         self._h: np.ndarray | None = None  # AᵀWA at the MAP
@@ -138,7 +143,12 @@ class PreferenceGP:
         if data.n_pairs == 0:
             raise ValueError("need at least one comparison to fit")
         self._data = data
-        items = data.items
+        # Snapshot the item matrix: ``data`` is shared and mutable (the
+        # learner keeps appending BO-observed outcomes), and a model
+        # kept past a rejected refit must stay consistent with the
+        # items it was actually conditioned on.
+        items = np.array(data.items, dtype=float, copy=True)
+        self._train_items = items
         if self.kernel is None or self.kernel.n_dims != items.shape[1]:
             self.kernel = self._default_kernel(items)
         n = data.n_items
@@ -155,6 +165,7 @@ class PreferenceGP:
             return float(np.sum(logcdf) - 0.5 * quad)
 
         cur = psi(g)
+        self.converged = False
         for _ in range(self.max_newton_iter):
             z = (a @ g) / s
             _, u, w = self._loglik_terms(z)
@@ -175,6 +186,7 @@ class PreferenceGP:
                     break
                 step *= 0.5
             if not improved or float(np.linalg.norm(step * direction)) < self.tol:
+                self.converged = True
                 break
 
         z = (a @ g) / s
@@ -199,11 +211,11 @@ class PreferenceGP:
         Mean uses μ* = K*ᵀ K⁻¹ ĝ = K*ᵀ b̂ (exact at the MAP);
         covariance uses K** − K*ᵀ H (I + KH)⁻¹ K*.
         """
-        if self._g_map is None or self._data is None:
+        if self._g_map is None or self._train_items is None:
             raise RuntimeError("model is not fitted")
         assert self.kernel is not None and self._k is not None
-        y_new = check_array_2d("y_new", y_new, n_cols=self._data.items.shape[1])
-        k_star = self.kernel(self._data.items, y_new)  # (n, m)
+        y_new = check_array_2d("y_new", y_new, n_cols=self._train_items.shape[1])
+        k_star = self.kernel(self._train_items, y_new)  # (n, m)
         mean = k_star.T @ self._b
         m_mat = self._h @ np.linalg.solve(
             np.eye(self._k.shape[0]) + self._k @ self._h, k_star

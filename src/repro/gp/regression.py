@@ -23,6 +23,7 @@ from scipy.linalg import cho_solve, solve_triangular
 from scipy.optimize import minimize
 
 from repro.gp.kernels import Kernel, Matern52Kernel
+from repro.obs import telemetry
 from repro.utils import as_generator, check_array_1d, check_array_2d, safe_cholesky
 from repro.utils.rng import RngLike
 
@@ -202,7 +203,25 @@ class GPRegressor:
         assert self.kernel is not None and self._x is not None and self._y is not None
         n = self._x.shape[0]
         k = self.kernel(self._x) + self.noise * np.eye(n)
-        ell = safe_cholesky(k)
+        # ``safe_cholesky`` already escalates its own jitter; optimizer-
+        # chosen hyperparameters (near-zero noise, extreme lengthscales)
+        # can still defeat it, so retry with successively larger
+        # explicit diagonal inflation before giving up — the predictions
+        # get slightly smoother rather than the whole run dying.
+        scale = float(np.mean(np.diag(k))) or 1.0
+        extra = 0.0
+        last_exc: np.linalg.LinAlgError | None = None
+        for _ in range(4):
+            try:
+                ell = safe_cholesky(k + extra * np.eye(n) if extra else k)
+                break
+            except np.linalg.LinAlgError as exc:
+                last_exc = exc
+                telemetry.counter("gp.cholesky_jitter_retries")
+                extra = extra * 100.0 if extra else 1e-2 * scale
+        else:
+            assert last_exc is not None
+            raise last_exc
         alpha = cho_solve((ell, True), self._y)
         self._state = _FitState(chol=ell, alpha=alpha)
 

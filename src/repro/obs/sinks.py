@@ -15,11 +15,54 @@ from __future__ import annotations
 
 import atexit
 import json
+import signal
 import threading
+import weakref
 from pathlib import Path
 from typing import Any, TextIO
 
 from repro.utils.serialization import to_jsonable
+
+#: Live JsonlSinks with an open file handle, flushed when the process
+#: is killed by SIGTERM/SIGINT.  ``atexit`` alone is not enough — it
+#: never runs when a signal's default action tears the process down —
+#: and chaos/CI runs kill workers with SIGTERM as a matter of course.
+_LIVE_SINKS: "weakref.WeakSet[JsonlSink]" = weakref.WeakSet()
+_signals_installed = False
+_previous_handlers: dict[int, Any] = {}
+
+
+def _flush_live_sinks(signum: int, frame) -> None:
+    for sink in list(_LIVE_SINKS):
+        try:
+            sink.flush()
+        except Exception:  # noqa: BLE001 — never mask the signal path
+            pass
+    previous = _previous_handlers.get(signum)
+    if callable(previous):
+        previous(signum, frame)
+    elif previous != signal.SIG_IGN:
+        # Re-deliver with the default disposition so the exit status
+        # still says "killed by signal" (SIGINT falls through to
+        # KeyboardInterrupt via default_int_handler below).
+        signal.signal(signum, signal.SIG_DFL)
+        signal.raise_signal(signum)
+
+
+def _install_signal_flush() -> None:
+    """Chain a flush-everything step onto SIGTERM/SIGINT (main thread only)."""
+    global _signals_installed
+    if _signals_installed:
+        return
+    if threading.current_thread() is not threading.main_thread():
+        return  # signal.signal is main-thread-only; atexit still covers us
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            _previous_handlers[signum] = signal.getsignal(signum)
+            signal.signal(signum, _flush_live_sinks)
+        except (OSError, ValueError):  # pragma: no cover — exotic embedders
+            _previous_handlers.pop(signum, None)
+    _signals_installed = True
 
 
 class EventSink:
@@ -61,13 +104,17 @@ class JsonlSink(EventSink):
     Writes are serialized under a lock (spans may complete on several
     threads at once), and the file is registered for close at
     interpreter exit so a run that dies mid-flight still leaves a
-    readable log behind.
+    readable log behind.  SIGTERM/SIGINT also flush every live sink
+    (chaining to any previously installed handler) — ``atexit`` never
+    fires when a signal's default action kills the process.
     """
 
     def __init__(self, path) -> None:
         self.path = Path(path)
         self._fh: TextIO | None = None
-        self._lock = threading.Lock()
+        # RLock: the signal-flush handler runs on the main thread and
+        # may interrupt an emit() that already holds the lock.
+        self._lock = threading.RLock()
         self._atexit_registered = False
 
     def _handle(self) -> TextIO:
@@ -77,6 +124,8 @@ class JsonlSink(EventSink):
             if not self._atexit_registered:
                 atexit.register(self.close)
                 self._atexit_registered = True
+            _LIVE_SINKS.add(self)
+            _install_signal_flush()
         return self._fh
 
     def emit(self, record: dict[str, Any]) -> None:
@@ -97,3 +146,4 @@ class JsonlSink(EventSink):
             if self._atexit_registered:
                 atexit.unregister(self.close)
                 self._atexit_registered = False
+        _LIVE_SINKS.discard(self)

@@ -13,6 +13,8 @@ the GP so the kernel sees a unit cube regardless of raw outcome units.
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
 from repro.bo.eubo import select_eubo_pair
@@ -114,8 +116,60 @@ class PreferenceLearner:
         self._asked.add((min(i, j), max(i, j)))
 
     def _fit(self) -> None:
+        """Refit the Laplace posterior, keeping the old one on failure.
+
+        The MAP search can fail to converge (or the kernel matrix can
+        lose positive-definiteness) once the comparison set grows
+        adversarial; a stale-but-sane posterior beats a broken one, so
+        the refit happens in a *candidate* model that only replaces
+        ``self.model`` on a clean, converged fit.  Kept-previous refits
+        are counted as ``pref.laplace_nonconverged``.  The very first
+        fit has no previous posterior to keep and is accepted (or
+        raised) as-is.
+        """
+        candidate = PreferenceGP(
+            kernel=self.model.kernel,
+            noise_scale=self.model.noise_scale,
+            max_newton_iter=self.model.max_newton_iter,
+            tol=self.model.tol,
+        )
+        had_previous = self.model.is_fitted
         with telemetry.span("pref.gp_fit"):
-            self.model.fit(self._data)
+            try:
+                candidate.fit(self._data)
+            except np.linalg.LinAlgError as exc:
+                if not had_previous:
+                    raise
+                telemetry.counter("pref.laplace_nonconverged")
+                telemetry.event(
+                    "pref.laplace_nonconverged",
+                    n_comparisons=self._data.n_pairs,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+                warnings.warn(
+                    f"preference-GP refit failed ({exc}); keeping the "
+                    f"previous posterior ({self.model._data.n_pairs} "
+                    "comparisons)",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+                return
+        if had_previous and not candidate.converged:
+            telemetry.counter("pref.laplace_nonconverged")
+            telemetry.event(
+                "pref.laplace_nonconverged",
+                n_comparisons=self._data.n_pairs,
+                error="newton_iteration_cap",
+            )
+            warnings.warn(
+                "preference-GP Laplace MAP hit its Newton iteration cap "
+                f"({candidate.max_newton_iter}); keeping the previous "
+                "posterior",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return
+        self.model = candidate
         telemetry.counter("pref.gp_refits")
 
     def initialize(self, n_pairs: int = 3) -> "PreferenceLearner":

@@ -1,0 +1,49 @@
+"""Resilience: fault injection, graceful degradation, checkpoint/resume.
+
+Real edge deployments see server crashes, uplink bandwidth collapse,
+and camera churn — regimes the paper's zero-jitter theorems assume
+away.  This package makes those regimes *testable* and *survivable*:
+
+* :mod:`repro.resilience.faults` — a seeded, deterministic
+  :class:`FaultPlan` (server crash/recover, bandwidth drop/restore,
+  stream join/leave) that replays into the discrete-event simulator
+  and into topology-level chaos runs, emitting ``fault.*`` telemetry;
+* :mod:`repro.resilience.chaos` — :class:`ChaosRunner` replays a plan
+  against a scheduler: at every topology change PaMO replans with a
+  warm-started BO loop, and the report quantifies benefit/latency
+  degradation versus the fault-free run (the ``repro chaos`` CLI);
+* :mod:`repro.resilience.checkpoint` — periodic BO-loop state
+  serialization so ``repro <scheduler> --resume <ckpt>`` continues a
+  crashed run bit-identically;
+* :mod:`repro.resilience.retry` — :class:`RetryPolicy` (bounded
+  retries, exponential backoff, per-arm timeout) consumed by
+  :func:`repro.bench.parallel.run_parallel`.
+"""
+
+from repro.resilience.faults import (
+    FAULT_KINDS,
+    FaultEvent,
+    FaultPlan,
+    parse_fault_spec,
+)
+from repro.resilience.retry import RetryPolicy
+from repro.resilience.checkpoint import (
+    CheckpointData,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.resilience.chaos import ChaosReport, ChaosRunner, EpochResult
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultPlan",
+    "parse_fault_spec",
+    "RetryPolicy",
+    "CheckpointData",
+    "load_checkpoint",
+    "save_checkpoint",
+    "ChaosReport",
+    "ChaosRunner",
+    "EpochResult",
+]

@@ -1,0 +1,296 @@
+"""Chaos harness: run a scheduler through a fault plan, measure the damage.
+
+The discrete-event simulator replays faults *within* one schedule
+(:meth:`repro.sim.cluster.EdgeCluster.run`); this module replays them
+*across* scheduling decisions.  A :class:`ChaosRunner` first optimizes
+on the pristine topology (the baseline), then walks the
+:class:`~repro.resilience.faults.FaultPlan` in time order: each batch
+of same-time events yields a new *epoch* — a degraded
+:class:`~repro.core.problem.EVAProblem` with crashed servers removed,
+throttled uplinks scaled, and departed streams dropped — on which the
+scheduler replans (warm-started via ``scheduler.replan`` when the
+scheduler supports it, from scratch otherwise).  The resulting
+:class:`ChaosReport` compares every epoch's benefit against the
+fault-free baseline, which is what ``repro chaos`` prints.
+
+Benefits are comparable across epochs only under a *fixed* utility; by
+default the report scores every decision with the supplied
+``preference`` (the simulated decision maker's hidden rule) rather than
+each epoch's possibly-refit learned model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.problem import EVAProblem
+from repro.core.result import OptimizationOutcome
+from repro.obs import telemetry
+from repro.resilience.faults import FaultEvent, FaultPlan
+from repro.utils.serialization import to_jsonable
+
+
+def degraded_problem(
+    problem: EVAProblem,
+    *,
+    alive: Sequence[bool],
+    bw_factor: Sequence[float],
+    active: Sequence[bool],
+) -> EVAProblem | None:
+    """The EVA problem restricted to surviving servers and active streams.
+
+    ``alive``/``bw_factor`` are per-server (a dead server disappears; a
+    live one keeps ``nominal * factor`` Mbps), ``active`` is per-stream.
+    Returns ``None`` when nothing survives on either side — there is no
+    problem left to schedule.
+    """
+    if len(alive) != problem.n_servers or len(bw_factor) != problem.n_servers:
+        raise ValueError(
+            f"alive/bw_factor must have {problem.n_servers} entries"
+        )
+    if len(active) != problem.n_streams:
+        raise ValueError(f"active must have {problem.n_streams} entries")
+    bw = [
+        float(problem.bandwidths_mbps[j]) * float(bw_factor[j])
+        for j in range(problem.n_servers)
+        if alive[j]
+    ]
+    textures = [
+        float(problem.textures[i])
+        for i in range(problem.n_streams)
+        if active[i]
+    ]
+    if not bw or not textures:
+        return None
+    return EVAProblem(
+        len(textures),
+        bw,
+        config_space=problem.config_space,
+        textures=textures,
+        profile=problem.profile,
+        encoder=problem.encoder,
+        outcomes=problem.outcomes,
+    )
+
+
+@dataclass
+class EpochResult:
+    """One post-fault scheduling epoch."""
+
+    index: int
+    time: float
+    events: tuple[FaultEvent, ...]
+    n_servers: int
+    n_streams: int
+    feasible: bool
+    replanned: bool = False
+    outcome: OptimizationOutcome | None = None
+    benefit: float | None = None
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "time": self.time,
+            "events": [e.to_dict() for e in self.events],
+            "n_servers": self.n_servers,
+            "n_streams": self.n_streams,
+            "feasible": self.feasible,
+            "replanned": self.replanned,
+            "outcome": None if self.outcome is None else self.outcome.to_dict(),
+            "benefit": self.benefit,
+        }
+
+
+@dataclass
+class ChaosReport:
+    """Baseline vs per-epoch benefit under a fault plan."""
+
+    plan: FaultPlan
+    baseline: OptimizationOutcome
+    baseline_benefit: float
+    epochs: list[EpochResult] = field(default_factory=list)
+
+    @property
+    def worst_benefit(self) -> float | None:
+        """Lowest epoch benefit (None if no epoch produced a schedule)."""
+        zs = [e.benefit for e in self.epochs if e.benefit is not None]
+        return min(zs) if zs else None
+
+    @property
+    def worst_drop(self) -> float | None:
+        """Largest benefit drop vs baseline, relative to |baseline|.
+
+        0 means no degradation; 1 means the benefit fell by the full
+        baseline magnitude.  ``None`` when no epoch was schedulable.
+        """
+        worst = self.worst_benefit
+        if worst is None:
+            return None
+        scale = max(abs(self.baseline_benefit), 1e-12)
+        return max(0.0, (self.baseline_benefit - worst) / scale)
+
+    @property
+    def all_feasible(self) -> bool:
+        """True iff every epoch produced a feasible schedule."""
+        return all(e.feasible for e in self.epochs)
+
+    def to_dict(self) -> dict:
+        return to_jsonable(
+            {
+                "plan": self.plan.to_dict(),
+                "baseline": self.baseline.to_dict(),
+                "baseline_benefit": self.baseline_benefit,
+                "epochs": [e.to_dict() for e in self.epochs],
+                "worst_benefit": self.worst_benefit,
+                "worst_drop": self.worst_drop,
+                "all_feasible": self.all_feasible,
+            }
+        )
+
+
+class ChaosRunner:
+    """Optimize, inject faults, replan, compare.
+
+    Parameters
+    ----------
+    problem:
+        The pristine (fault-free) problem instance.
+    fault_plan:
+        Faults to replay; same-time events form one epoch.
+    scheduler_factory:
+        ``scheduler_factory(problem) -> scheduler`` — builds a fresh
+        scheduler for a topology.  Called once for the baseline and
+        again per epoch for schedulers without a ``replan`` method.
+    preference:
+        Fixed utility used to score every decision (an object with a
+        ``value(outcomes) -> array`` method, e.g. the decision maker's
+        :class:`~repro.pref.decision_maker.TruePreference`).  Defaults
+        to each decision's own ``benefit`` field, which is *not*
+        comparable across refit learned models — pass the preference
+        whenever it is available.
+    """
+
+    def __init__(
+        self,
+        problem: EVAProblem,
+        fault_plan: FaultPlan,
+        scheduler_factory: Callable[[EVAProblem], object],
+        *,
+        preference=None,
+    ) -> None:
+        self.problem = problem
+        self.fault_plan = fault_plan
+        self.scheduler_factory = scheduler_factory
+        self.preference = preference
+
+    def _score(self, outcome: OptimizationOutcome) -> float:
+        if self.preference is None:
+            return float(outcome.decision.benefit)
+        y = np.atleast_2d(outcome.decision.outcome)
+        return float(np.asarray(self.preference.value(y)).reshape(-1)[0])
+
+    def run(self) -> ChaosReport:
+        """Baseline run plus one replan per fault epoch."""
+        with telemetry.span("chaos.run"):
+            scheduler = self.scheduler_factory(self.problem)
+            with telemetry.span("chaos.baseline"):
+                baseline = scheduler.optimize()
+            report = ChaosReport(
+                plan=self.fault_plan,
+                baseline=baseline,
+                baseline_benefit=self._score(baseline),
+            )
+
+            alive = [True] * self.problem.n_servers
+            factor = [1.0] * self.problem.n_servers
+            active = [True] * self.problem.n_streams
+
+            # Group same-time events into one epoch.
+            batches: list[tuple[float, list[FaultEvent]]] = []
+            for event in self.fault_plan:
+                if batches and batches[-1][0] == event.time:
+                    batches[-1][1].append(event)
+                else:
+                    batches.append((event.time, [event]))
+
+            for idx, (t, events) in enumerate(batches):
+                for e in events:
+                    self._apply(e, alive, factor, active)
+                prob = degraded_problem(
+                    self.problem, alive=alive, bw_factor=factor, active=active
+                )
+                epoch = EpochResult(
+                    index=idx,
+                    time=t,
+                    events=tuple(events),
+                    n_servers=0 if prob is None else prob.n_servers,
+                    n_streams=0 if prob is None else prob.n_streams,
+                    feasible=False,
+                )
+                if prob is not None:
+                    reason = ",".join(f"{e.kind}:{e.target}" for e in events)
+                    with telemetry.span("chaos.epoch"):
+                        if hasattr(scheduler, "replan"):
+                            epoch.replanned = True
+                            out = scheduler.replan(prob, reason=reason)
+                        else:
+                            scheduler = self.scheduler_factory(prob)
+                            out = scheduler.optimize()
+                    epoch.outcome = out
+                    epoch.benefit = self._score(out)
+                    epoch.feasible = prob.is_feasible(
+                        out.decision.resolutions, out.decision.fps
+                    )
+                telemetry.counter("chaos.epochs")
+                telemetry.event(
+                    "chaos.epoch",
+                    index=idx,
+                    time=t,
+                    events=[e.to_dict() for e in events],
+                    n_servers=epoch.n_servers,
+                    n_streams=epoch.n_streams,
+                    feasible=epoch.feasible,
+                    replanned=epoch.replanned,
+                    benefit=epoch.benefit,
+                    baseline_benefit=report.baseline_benefit,
+                )
+                report.epochs.append(epoch)
+        return report
+
+    @staticmethod
+    def _apply(
+        event: FaultEvent,
+        alive: list[bool],
+        factor: list[float],
+        active: list[bool],
+    ) -> None:
+        t = int(event.target)
+        if event.kind in (
+            "server_crash",
+            "server_recover",
+            "bandwidth_drop",
+            "bandwidth_restore",
+        ):
+            if not (0 <= t < len(alive)):
+                raise ValueError(
+                    f"fault target {t} out of range for {len(alive)} servers"
+                )
+        elif not (0 <= t < len(active)):
+            raise ValueError(
+                f"fault target {t} out of range for {len(active)} streams"
+            )
+        if event.kind == "server_crash":
+            alive[t] = False
+        elif event.kind == "server_recover":
+            alive[t] = True
+        elif event.kind == "bandwidth_drop":
+            factor[t] = float(event.value)
+        elif event.kind == "bandwidth_restore":
+            factor[t] = 1.0
+        elif event.kind == "stream_leave":
+            active[t] = False
+        elif event.kind == "stream_join":
+            active[t] = True

@@ -1,0 +1,65 @@
+"""Bounded retry with exponential backoff for experiment arms.
+
+:class:`RetryPolicy` is consumed by
+:func:`repro.bench.parallel.run_parallel` as an alternative to its
+default fail-fast mode: a failed (or timed-out) arm is resubmitted up
+to ``max_attempts`` total attempts, sleeping ``base_delay * 2**(k-1)``
+seconds before retry k.  Retried and abandoned arms are counted in
+telemetry (``retry.attempts``, ``retry.succeeded_after_retry``,
+``retry.abandoned``) and each retry emits a ``retry.arm`` event.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class ArmAbandonedError(RuntimeError):
+    """An experiment arm failed every attempt allowed by its policy."""
+
+    def __init__(self, arm_index: int, attempts: int, last_error: BaseException | None):
+        self.arm_index = int(arm_index)
+        self.attempts = int(attempts)
+        self.last_error = last_error
+        detail = f": {last_error!r}" if last_error is not None else " (timed out)"
+        super().__init__(
+            f"arm {arm_index} abandoned after {attempts} attempt(s){detail}"
+        )
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry controls for one experiment arm.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total tries per arm (1 = no retry, just the timeout guard).
+    base_delay:
+        Backoff seconds before the first retry; doubles each retry.
+    timeout:
+        Per-attempt wall-clock budget in seconds (``None`` = no
+        limit).  A timed-out attempt counts as a failure; the worker
+        process cannot be interrupted, so its eventual result is
+        discarded and the attempt reruns on a free worker.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.1
+    timeout: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.base_delay < 0:
+            raise ValueError(f"base_delay must be >= 0, got {self.base_delay}")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError(f"timeout must be > 0, got {self.timeout}")
+
+    def delay_before(self, attempt: int) -> float:
+        """Backoff before attempt number ``attempt`` (2-based: first retry)."""
+        if attempt <= 1:
+            return 0.0
+        return self.base_delay * (2.0 ** (attempt - 2))

@@ -54,8 +54,11 @@ class EdgeServer:
         self._busy = False
         self.busy_time = 0.0
         self.frames_processed = 0
+        self.frames_dropped = 0
         self.completed: list[QueuedFrame] = []
         self._speed_factor = 1.0
+        self._crashed = False
+        self._crash_epoch = 0
 
     @property
     def backlog(self) -> int:
@@ -66,9 +69,39 @@ class EdgeServer:
     def busy(self) -> bool:
         return self._busy
 
+    @property
+    def crashed(self) -> bool:
+        return self._crashed
+
+    def crash(self) -> int:
+        """Fail the server: drop queued and in-flight frames.
+
+        The pending queue empties (each frame counted in
+        :attr:`frames_dropped`), the frame currently on the accelerator
+        is discarded when its completion event fires, and frames
+        submitted while crashed are dropped on arrival.  Returns the
+        number of frames dropped immediately.
+        """
+        dropped = len(self._pending) + (1 if self._busy else 0)
+        self.frames_dropped += dropped
+        self._pending.clear()
+        self._crashed = True
+        self._crash_epoch += 1
+        self._busy = False
+        return dropped
+
+    def recover(self) -> None:
+        """Bring a crashed server back; it resumes from an empty queue."""
+        self._crashed = False
+        if self._pending and not self._busy:
+            self._start_next()
+
     def submit(self, frame: QueuedFrame) -> None:
         """Accept a frame at the current simulation time."""
         check_positive("processing_time", frame.processing_time)
+        if self._crashed:
+            self.frames_dropped += 1
+            return
         self._pending.append(frame)
         if not self._busy:
             self._start_next()
@@ -102,8 +135,15 @@ class EdgeServer:
         frame.start_time = self._queue.now
         effective = frame.processing_time / self._speed_factor
         finish = self._queue.now + effective
+        epoch = self._crash_epoch
 
-        def _complete(fr: QueuedFrame = frame, t: float = finish, dt: float = effective) -> None:
+        def _complete(
+            fr: QueuedFrame = frame, t: float = finish, dt: float = effective
+        ) -> None:
+            if self._crashed or epoch != self._crash_epoch:
+                # the server died while this frame was on the accelerator;
+                # crash() already counted it as dropped
+                return
             fr.finish_time = t
             self.busy_time += dt
             self.frames_processed += 1

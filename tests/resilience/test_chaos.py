@@ -1,0 +1,195 @@
+"""Chaos harness: degraded problems, epoch replay, and the acceptance run."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.core import EVAProblem, PaMO, make_preference
+from repro.obs import MemorySink, telemetry
+from repro.pref import DecisionMaker
+from repro.resilience import ChaosRunner, FaultPlan
+from repro.resilience.chaos import degraded_problem
+
+
+def _problem(n_streams=4, bandwidths=(10.0, 15.0, 20.0, 30.0)):
+    return EVAProblem(n_streams=n_streams, bandwidths_mbps=list(bandwidths))
+
+
+class TestDegradedProblem:
+    def test_removes_dead_servers_and_scales_bandwidth(self):
+        prob = _problem()
+        out = degraded_problem(
+            prob,
+            alive=[True, False, True, True],
+            bw_factor=[1.0, 1.0, 0.5, 1.0],
+            active=[True] * 4,
+        )
+        assert out.n_servers == 3
+        assert out.bandwidths_mbps == pytest.approx([10.0, 10.0, 30.0])
+        assert out.n_streams == 4
+
+    def test_drops_departed_streams(self):
+        prob = _problem()
+        out = degraded_problem(
+            prob,
+            alive=[True] * 4,
+            bw_factor=[1.0] * 4,
+            active=[True, False, True, False],
+        )
+        assert out.n_streams == 2
+
+    def test_none_when_nothing_survives(self):
+        prob = _problem()
+        assert (
+            degraded_problem(
+                prob, alive=[False] * 4, bw_factor=[1.0] * 4, active=[True] * 4
+            )
+            is None
+        )
+        assert (
+            degraded_problem(
+                prob, alive=[True] * 4, bw_factor=[1.0] * 4, active=[False] * 4
+            )
+            is None
+        )
+
+    def test_validates_lengths(self):
+        prob = _problem()
+        with pytest.raises(ValueError):
+            degraded_problem(
+                prob, alive=[True], bw_factor=[1.0] * 4, active=[True] * 4
+            )
+
+
+class TestChaosAcceptance:
+    def test_pamo_survives_one_of_four_server_crash(self):
+        """The ISSUE acceptance run: crash 1 of 4 servers mid-run.
+
+        PaMO must finish, replan onto the survivors, keep the schedule
+        feasible (Const1/Const2), and the recovery epoch must restore
+        the full topology.
+        """
+        prob = _problem()
+        pref = make_preference(prob)
+        plan = FaultPlan.from_specs(["crash:1@0.5", "recover:1@2.0"])
+
+        def factory(p):
+            return PaMO(
+                p,
+                decision_maker=DecisionMaker(pref, rng=0),
+                n_profile=40,
+                n_outcome_space=20,
+                n_init_comparisons=3,
+                n_pref_queries=6,
+                batch_size=2,
+                n_iterations=4,
+                n_pool=12,
+                rng=0,
+            )
+
+        telemetry.reset()
+        telemetry.enable(MemorySink())
+        try:
+            report = ChaosRunner(prob, plan, factory, preference=pref).run()
+            counters = telemetry.report()["counters"]
+        finally:
+            telemetry.disable()
+            telemetry.reset()
+
+        assert len(report.epochs) == 2
+        crash, recover = report.epochs
+        assert crash.n_servers == 3 and recover.n_servers == 4
+        assert report.all_feasible
+        # PaMO replans in-place (warm start) instead of re-optimizing.
+        assert crash.replanned and recover.replanned
+        assert counters.get("pamo.replans", 0) == 2
+        # Every placement lands on a surviving server.
+        assignment = np.asarray(crash.outcome.decision.assignment)
+        assert np.all((assignment >= 0) & (assignment < 3))
+        # The surviving-topology decision itself keeps Const1/Const2
+        # (the run-wide counters include infeasible BO candidates, so
+        # re-schedule just the final decision under a fresh registry).
+        survivors = degraded_problem(
+            prob,
+            alive=[True, False, True, True],
+            bw_factor=[1.0] * 4,
+            active=[True] * 4,
+        )
+        telemetry.reset()
+        telemetry.enable(MemorySink())
+        try:
+            survivors.schedule(
+                crash.outcome.decision.resolutions, crash.outcome.decision.fps
+            )
+            final = telemetry.report()["counters"]
+        finally:
+            telemetry.disable()
+            telemetry.reset()
+        assert final.get("sched.schedules", 0) == 1
+        assert final.get("sched.const1_violations", 0) == 0
+        assert final.get("sched.const2_violations", 0) == 0
+        # Losing 1 of 4 servers must degrade gracefully, not collapse.
+        assert report.worst_drop is not None and report.worst_drop <= 0.5
+
+    def test_stream_churn_rebuilds_observation_set(self):
+        """A stream leaving changes the decision dimension; replan copes."""
+        prob = _problem(n_streams=3, bandwidths=(10.0, 20.0, 30.0))
+        pref = make_preference(prob)
+        plan = FaultPlan.from_specs(["leave:2@0.5"])
+
+        def factory(p):
+            return PaMO(
+                p,
+                decision_maker=DecisionMaker(pref, rng=0),
+                n_profile=40,
+                n_outcome_space=20,
+                n_init_comparisons=3,
+                n_pref_queries=6,
+                batch_size=2,
+                n_iterations=3,
+                n_pool=12,
+                rng=0,
+            )
+
+        report = ChaosRunner(prob, plan, factory, preference=pref).run()
+        (epoch,) = report.epochs
+        assert epoch.n_streams == 2
+        assert epoch.feasible
+        assert epoch.outcome.decision.resolutions.shape == (2,)
+
+
+class TestChaosCli:
+    def test_chaos_command_random_method(self, tmp_path, capsys):
+        out_path = tmp_path / "report.json"
+        rc = main(
+            [
+                "chaos",
+                "--streams", "3",
+                "--servers", "3",
+                "--method", "random",
+                "--seed", "0",
+                "--faults", "crash:1@0.5,recover:1@2.0",
+                "--output", str(out_path),
+            ]
+        )
+        assert rc == 0
+        printed = capsys.readouterr().out
+        assert "baseline benefit" in printed
+        report = json.loads(out_path.read_text())
+        assert report["all_feasible"] is True
+        assert len(report["epochs"]) == 2
+
+    def test_chaos_command_seeded_random_plan(self, capsys):
+        rc = main(
+            [
+                "chaos",
+                "--streams", "3",
+                "--servers", "3",
+                "--method", "random",
+                "--seed", "3",
+                "--n-faults", "2",
+            ]
+        )
+        assert rc == 0

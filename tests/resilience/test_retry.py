@@ -1,0 +1,150 @@
+"""RetryPolicy semantics and run_parallel retry integration."""
+
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.bench import run_parallel
+from repro.obs import MemorySink, telemetry
+from repro.resilience import RetryPolicy
+from repro.resilience.retry import ArmAbandonedError
+
+
+def _count_attempt(marker_dir, arm):
+    """Register one attempt of ``arm``; returns its 0-based attempt index.
+
+    Attempts of one arm never overlap (a retry is only submitted after
+    the previous attempt failed), so exclusive-create marker files give
+    a race-free cross-process attempt counter.
+    """
+    d = Path(marker_dir)
+    n = 0
+    while True:
+        try:
+            (d / f"arm{arm}.attempt{n}").touch(exist_ok=False)
+            return n
+        except FileExistsError:
+            n += 1
+
+
+def _flaky_arm(marker_dir, arm, fail_times):
+    n = _count_attempt(marker_dir, arm)
+    if n < fail_times:
+        raise RuntimeError(f"arm {arm} transient failure #{n}")
+    return (arm, n)
+
+
+def _slow_then_fast_arm(marker_dir, arm):
+    if _count_attempt(marker_dir, arm) == 0:
+        time.sleep(2.5)
+    return ("fast", arm)
+
+
+class TestRetryPolicy:
+    def test_validates_fields(self):
+        with pytest.raises(ValueError, match="max_attempts"):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError, match="base_delay"):
+            RetryPolicy(base_delay=-0.1)
+        with pytest.raises(ValueError, match="timeout"):
+            RetryPolicy(timeout=0.0)
+
+    def test_delay_doubles_per_retry(self):
+        p = RetryPolicy(max_attempts=4, base_delay=0.2)
+        assert p.delay_before(1) == 0.0
+        assert p.delay_before(2) == pytest.approx(0.2)
+        assert p.delay_before(3) == pytest.approx(0.4)
+        assert p.delay_before(4) == pytest.approx(0.8)
+
+
+class TestInlineRetry:
+    def test_succeeds_after_transient_failures(self, tmp_path):
+        telemetry.reset()
+        telemetry.enable(MemorySink())
+        try:
+            out = run_parallel(
+                _flaky_arm,
+                [(str(tmp_path), 0, 2)],
+                n_workers=1,
+                retry=RetryPolicy(max_attempts=3, base_delay=0.0),
+            )
+            counters = telemetry.report()["counters"]
+        finally:
+            telemetry.disable()
+            telemetry.reset()
+        assert out == [(0, 2)]
+        assert counters["retry.attempts"] == 2
+        assert counters["retry.succeeded_after_retry"] == 1
+
+    def test_abandons_after_max_attempts(self, tmp_path):
+        telemetry.reset()
+        telemetry.enable(MemorySink())
+        try:
+            with pytest.raises(ArmAbandonedError) as exc_info:
+                run_parallel(
+                    _flaky_arm,
+                    [(str(tmp_path), 0, 99)],
+                    n_workers=1,
+                    retry=RetryPolicy(max_attempts=2, base_delay=0.0),
+                )
+            counters = telemetry.report()["counters"]
+        finally:
+            telemetry.disable()
+            telemetry.reset()
+        assert exc_info.value.arm_index == 0
+        assert exc_info.value.attempts == 2
+        assert isinstance(exc_info.value.last_error, RuntimeError)
+        assert counters["retry.abandoned"] == 1
+
+    def test_no_retry_without_policy(self, tmp_path):
+        with pytest.raises(RuntimeError, match="transient"):
+            run_parallel(_flaky_arm, [(str(tmp_path), 0, 1)], n_workers=1)
+
+
+class TestPoolRetry:
+    def test_flaky_arm_retried_results_in_order(self, tmp_path):
+        telemetry.reset()
+        telemetry.enable(MemorySink())
+        try:
+            out = run_parallel(
+                _flaky_arm,
+                [(str(tmp_path), 0, 0), (str(tmp_path), 1, 1), (str(tmp_path), 2, 0)],
+                n_workers=2,
+                retry=RetryPolicy(max_attempts=3, base_delay=0.01),
+            )
+            counters = telemetry.report()["counters"]
+        finally:
+            telemetry.disable()
+            telemetry.reset()
+        assert out == [(0, 0), (1, 1), (2, 0)]
+        assert counters["retry.attempts"] == 1
+        assert counters["retry.succeeded_after_retry"] == 1
+
+    def test_pool_abandons_exhausted_arm(self, tmp_path):
+        with pytest.raises(ArmAbandonedError) as exc_info:
+            run_parallel(
+                _flaky_arm,
+                [(str(tmp_path), 0, 0), (str(tmp_path), 1, 99)],
+                n_workers=2,
+                retry=RetryPolicy(max_attempts=2, base_delay=0.0),
+            )
+        assert exc_info.value.arm_index == 1
+        assert exc_info.value.attempts == 2
+
+    def test_timed_out_attempt_reruns(self, tmp_path):
+        telemetry.reset()
+        telemetry.enable(MemorySink())
+        try:
+            out = run_parallel(
+                _slow_then_fast_arm,
+                [(str(tmp_path), 7), (str(tmp_path), 8)],
+                n_workers=4,
+                retry=RetryPolicy(max_attempts=3, base_delay=0.0, timeout=0.6),
+            )
+            counters = telemetry.report()["counters"]
+        finally:
+            telemetry.disable()
+            telemetry.reset()
+        assert out == [("fast", 7), ("fast", 8)]
+        assert counters["retry.timeouts"] >= 2

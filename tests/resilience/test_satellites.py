@@ -1,0 +1,155 @@
+"""Satellite hardening: GP cholesky retries, Laplace non-convergence,
+and signal-safe telemetry sinks."""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+import repro.gp.regression as regression
+from repro.gp.preference import ComparisonData, PreferenceGP
+from repro.obs import MemorySink, telemetry
+from repro.pref.learner import PreferenceLearner
+from repro.utils import safe_cholesky
+
+
+def _train_data(n=12, d=2, rng=0):
+    gen = np.random.default_rng(rng)
+    x = gen.uniform(size=(n, d))
+    y = np.sin(x.sum(axis=1)) + 0.01 * gen.standard_normal(n)
+    return x, y
+
+
+class TestCholeskyRetry:
+    def test_transient_failure_recovers_with_jitter(self, monkeypatch):
+        calls = {"n": 0}
+
+        def flaky(a, **kw):
+            calls["n"] += 1
+            if calls["n"] <= 2:
+                raise np.linalg.LinAlgError("not positive definite")
+            return safe_cholesky(a, **kw)
+
+        monkeypatch.setattr(regression, "safe_cholesky", flaky)
+        x, y = _train_data()
+        telemetry.reset()
+        telemetry.enable(MemorySink())
+        try:
+            gp = regression.GPRegressor().fit(x, y, optimize=False)
+            counters = telemetry.report()["counters"]
+        finally:
+            telemetry.disable()
+            telemetry.reset()
+        assert gp.is_fitted
+        assert counters["gp.cholesky_jitter_retries"] == 2
+        mean, var = gp.predict(x[:3])
+        assert np.all(np.isfinite(mean)) and np.all(var >= 0)
+
+    def test_persistent_failure_reraises(self, monkeypatch):
+        def hopeless(a, **kw):
+            raise np.linalg.LinAlgError("never PSD")
+
+        monkeypatch.setattr(regression, "safe_cholesky", hopeless)
+        x, y = _train_data()
+        telemetry.reset()
+        telemetry.enable(MemorySink())
+        try:
+            with pytest.raises(np.linalg.LinAlgError):
+                regression.GPRegressor().fit(x, y, optimize=False)
+            counters = telemetry.report()["counters"]
+        finally:
+            telemetry.disable()
+            telemetry.reset()
+        assert counters["gp.cholesky_jitter_retries"] == 4
+
+
+def _comparisons(n_items=8, n_pairs=6, rng=0):
+    gen = np.random.default_rng(rng)
+    data = ComparisonData(items=gen.uniform(size=(n_items, 2)))
+    for _ in range(n_pairs):
+        i, j = gen.choice(n_items, 2, replace=False)
+        data.add_comparison(int(i), int(j))
+    return data
+
+
+class TestLaplaceConvergence:
+    def test_converged_flag_set_on_clean_fit(self):
+        gp = PreferenceGP().fit(_comparisons())
+        assert gp.converged
+
+    def test_iteration_cap_leaves_flag_unset(self):
+        gp = PreferenceGP(max_newton_iter=0)
+        gp.fit(_comparisons())
+        assert gp.is_fitted and not gp.converged
+
+
+class _SumPreference:
+    """Deterministic decision maker: larger coordinate sum wins."""
+
+    def compare(self, y1, y2):
+        return float(np.sum(y1)) >= float(np.sum(y2))
+
+
+class TestLearnerKeepsPosterior:
+    def test_nonconverged_refit_keeps_previous_model(self):
+        gen = np.random.default_rng(0)
+        learner = PreferenceLearner(
+            gen.uniform(size=(12, 3)), decision_maker=_SumPreference(), rng=0
+        )
+        learner.initialize(n_pairs=3)
+        fitted = learner.model
+        assert fitted.converged
+        # Sabotage the next refit: zero Newton iterations can't converge.
+        fitted.max_newton_iter = 0
+        telemetry.reset()
+        sink = MemorySink()
+        telemetry.enable(sink)
+        try:
+            with pytest.warns(RuntimeWarning, match="iteration cap"):
+                learner.compare_against(gen.uniform(size=(1, 3)), gen.uniform(size=3))
+            counters = telemetry.report()["counters"]
+        finally:
+            telemetry.disable()
+            telemetry.reset()
+        assert learner.model is fitted  # stale-but-sane posterior kept
+        assert counters["pref.laplace_nonconverged"] == 1
+        assert any(
+            r.get("event") == "pref.laplace_nonconverged" for r in sink.records
+        )
+        # the learner still answers utility queries
+        assert np.all(np.isfinite(learner.utility(gen.uniform(size=(2, 3)))))
+
+
+class TestSignalFlush:
+    def test_sigterm_flushes_jsonl_sink_and_preserves_exit_status(self, tmp_path):
+        """A SIGTERM'd run leaves its buffered telemetry on disk."""
+        log = tmp_path / "events.jsonl"
+        script = (
+            "import os, signal\n"
+            "from repro.obs import telemetry\n"
+            "from repro.obs.sinks import JsonlSink\n"
+            f"telemetry.enable(JsonlSink({str(log)!r}))\n"
+            "telemetry.event('test.before_kill', marker=42)\n"
+            "os.kill(os.getpid(), signal.SIGTERM)\n"
+            "raise SystemExit('signal handler should not return here')\n"
+        )
+        env = dict(os.environ, PYTHONPATH="src")
+        proc = subprocess.run(
+            [sys.executable, "-c", script],
+            cwd=str(Path(__file__).resolve().parents[2]),
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert proc.returncode == -signal.SIGTERM, proc.stderr
+        lines = [json.loads(l) for l in log.read_text().splitlines()]
+        assert any(
+            r.get("event") == "test.before_kill" and r.get("marker") == 42
+            for r in lines
+        )
