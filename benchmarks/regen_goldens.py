@@ -1,0 +1,73 @@
+"""Regenerate the golden end-to-end PaMO records in tests/goldens/.
+
+Run after an INTENTIONAL behavior change (new acquisition math, changed
+candidate generation, …) and commit the refreshed JSON together with
+the change:
+
+    PYTHONPATH=src python benchmarks/regen_goldens.py
+
+The goldens pin the full seeded pipeline — problem construction,
+profiling, preference learning, BO loop with the fast GP/BO paths —
+to the incumbent benefit and final decision, so any unintended drift
+(e.g. a "pure refactor" that perturbs an RNG stream or a fast path
+that stops matching its slow reference) fails
+``tests/goldens/test_golden_regression.py`` loudly.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+GOLDEN_DIR = REPO / "tests" / "goldens"
+
+#: (method, n_streams, n_servers, seed) cases pinned by the goldens —
+#: small budgets (bench FAST_PAMO_KWARGS) so the suite stays fast.
+CASES = [
+    ("PaMO", 4, 3, 0),
+    ("PaMO", 4, 3, 1),
+    ("PaMO+", 4, 3, 0),
+]
+
+
+def run_case(method: str, n_streams: int, n_servers: int, seed: int) -> dict:
+    from repro.bench.harness import make_problem, run_method
+    from repro.core import make_preference
+
+    problem = make_problem(n_streams, n_servers, rng=seed)
+    preference = make_preference(problem)
+    result = run_method(method, problem, preference, seed=seed, measured=False)
+    return {
+        "method": method,
+        "n_streams": n_streams,
+        "n_servers": n_servers,
+        "seed": seed,
+        "true_benefit": result.true_benefit,
+        "outcome": [float(v) for v in result.outcome],
+        "resolutions": [float(v) for v in result.extras["resolutions"]],
+        "fps": [float(v) for v in result.extras["fps"]],
+        "n_iterations": int(result.extras["n_iterations"]),
+        "n_dm_queries": int(result.extras["n_dm_queries"]),
+    }
+
+
+def main() -> int:
+    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+    records = [run_case(*case) for case in CASES]
+    path = GOLDEN_DIR / "pamo_goldens.json"
+    path.write_text(json.dumps(records, indent=2) + "\n")
+    for r in records:
+        print(
+            f"{r['method']} streams={r['n_streams']} seed={r['seed']}: "
+            f"benefit={r['true_benefit']:.6f}"
+        )
+    print(f"wrote {len(records)} golden record(s) to {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -27,6 +27,13 @@ from repro.bench.reporting import (
 )
 from repro.bench.parallel import run_parallel, default_workers
 from repro.bench.io import save_results, load_results
+from repro.bench.hotpath import (
+    BENCHMARKS,
+    check_result,
+    run_benchmark,
+    run_benchmarks,
+    save_bench,
+)
 
 __all__ = [
     "MethodResult",
@@ -50,4 +57,9 @@ __all__ = [
     "format_heatmap",
     "save_results",
     "load_results",
+    "BENCHMARKS",
+    "check_result",
+    "run_benchmark",
+    "run_benchmarks",
+    "save_bench",
 ]

@@ -7,7 +7,7 @@ BO driver of Algorithm 2.
 """
 
 from repro.bo.design import sobol_design, latin_hypercube, grid_design
-from repro.bo.eubo import eubo_closed_form, select_eubo_pair
+from repro.bo.eubo import eubo_batch, eubo_closed_form, eubo_for_pairs, select_eubo_pair
 from repro.bo.acquisition import (
     AcquisitionFunction,
     QNEI,
@@ -23,7 +23,9 @@ __all__ = [
     "sobol_design",
     "latin_hypercube",
     "grid_design",
+    "eubo_batch",
     "eubo_closed_form",
+    "eubo_for_pairs",
     "select_eubo_pair",
     "AcquisitionFunction",
     "QNEI",

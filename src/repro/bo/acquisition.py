@@ -40,10 +40,17 @@ class AcquisitionFunction(abc.ABC):
     #: (None until :meth:`select_batch` runs; telemetry reads this).
     last_batch_value: float | None = None
 
-    def __init__(self, n_samples: int = 64) -> None:
+    #: Vectorized candidate scoring (default).  ``fast=False`` switches
+    #: :meth:`select_batch` to the per-candidate reference loop — the
+    #: same math on the same shared MC sample matrix, kept as the
+    #: escape hatch the equivalence tests compare against.
+    fast: bool = True
+
+    def __init__(self, n_samples: int = 64, *, fast: bool = True) -> None:
         if n_samples < 2:
             raise ValueError(f"n_samples must be >= 2, got {n_samples}")
         self.n_samples = int(n_samples)
+        self.fast = bool(fast)
 
     @abc.abstractmethod
     def evaluate(
@@ -91,6 +98,11 @@ class AcquisitionFunction(abc.ABC):
         the batch acquisition — all candidates compared on common random
         numbers.  One sampler call total, O(pool · batch · samples)
         arithmetic afterwards.  Returns indices into ``pool``.
+
+        With :attr:`fast` (default) every greedy round scores the whole
+        pool in one NumPy batch over the shared MC base-sample matrix;
+        ``fast=False`` scores candidates one at a time in a Python loop
+        (identical math and samples — the slow reference path).
         """
         pool = np.atleast_2d(np.asarray(pool, dtype=float))
         if batch_size < 1:
@@ -118,19 +130,37 @@ class AcquisitionFunction(abc.ABC):
         z_obs = z[:, p:] if have_obs else None
         baseline = self._baseline_values(z_obs, observed_z, self.n_samples)
 
+        clip = self._clip_at_baseline and bool(np.any(np.isfinite(baseline)))
+        safe_base = (
+            np.where(np.isfinite(baseline), baseline, -np.inf) if clip else None
+        )
+
         chosen: list[int] = []
         current = np.full(self.n_samples, -np.inf)
         mask = np.zeros(p, dtype=bool)
         for _ in range(batch_size):
-            cand_max = np.maximum(current[:, None], z_pool)  # (S, P)
-            if self._clip_at_baseline and np.any(np.isfinite(baseline)):
-                safe_base = np.where(np.isfinite(baseline), baseline, -np.inf)
-                vals = np.clip(cand_max - safe_base[:, None], 0.0, None)
-                vals = np.where(np.isfinite(vals), vals, cand_max)
-                scores = vals.mean(axis=0)
+            if self.fast:
+                # one (S, P) batch per greedy round over the shared samples
+                cand_max = np.maximum(current[:, None], z_pool)  # (S, P)
+                if clip:
+                    vals = np.clip(cand_max - safe_base[:, None], 0.0, None)
+                    vals = np.where(np.isfinite(vals), vals, cand_max)
+                    scores = vals.mean(axis=0)
+                else:
+                    # no incumbent: pure exploration on the expected max
+                    scores = cand_max.mean(axis=0)
+                telemetry.counter("acq.vectorized_batches")
             else:
-                # no incumbent: pure exploration on the expected maximum
-                scores = cand_max.mean(axis=0)
+                # reference path: same samples, candidate-at-a-time
+                scores = np.empty(p)
+                for c in range(p):
+                    cand_max_c = np.maximum(current, z_pool[:, c])  # (S,)
+                    if clip:
+                        vals_c = np.clip(cand_max_c - safe_base, 0.0, None)
+                        vals_c = np.where(np.isfinite(vals_c), vals_c, cand_max_c)
+                        scores[c] = vals_c.mean()
+                    else:
+                        scores[c] = cand_max_c.mean()
             scores = np.where(mask, -np.inf, scores)
             best = int(np.argmax(scores))
             mask[best] = True
@@ -201,8 +231,10 @@ class QUCB(AcquisitionFunction):
 
     name = "qUCB"
 
-    def __init__(self, n_samples: int = 64, beta: float = 2.0) -> None:
-        super().__init__(n_samples)
+    def __init__(
+        self, n_samples: int = 64, beta: float = 2.0, *, fast: bool = True
+    ) -> None:
+        super().__init__(n_samples, fast=fast)
         self.beta = check_positive("beta", beta)
 
     def _transform_samples(self, z: np.ndarray) -> np.ndarray:
@@ -289,8 +321,8 @@ class RandomDesignAcquisition(AcquisitionFunction):
 
     name = "random"
 
-    def __init__(self, n_samples: int = 2) -> None:
-        super().__init__(n_samples)
+    def __init__(self, n_samples: int = 2, *, fast: bool = True) -> None:
+        super().__init__(n_samples, fast=fast)
 
     def evaluate(self, sampler, candidates, *, observed_x=None, observed_z=None, rng=None):
         return 0.0

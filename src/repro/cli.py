@@ -18,6 +18,9 @@ Commands:
 * ``chaos`` — run a scheduler under a deterministic fault plan
   (server crashes, bandwidth drops, stream churn) and report each
   post-fault epoch's benefit against the fault-free baseline;
+* ``bench`` — time the GP/BO hot-path fast/slow pairs on fixed seeds,
+  write ``BENCH_<name>.json`` records, and optionally gate against
+  recorded baselines (``--check``; the CI bench-smoke job);
 * ``info`` — version and module inventory.
 
 ``optimize`` also understands ``--checkpoint PATH`` /
@@ -433,6 +436,69 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 1 if result.regressed else 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench.hotpath import (
+        BENCHMARKS,
+        check_result,
+        run_benchmark,
+        save_bench,
+    )
+    from repro.bench.io import load_results
+    from repro.bench.reporting import format_table
+
+    if args.slack < 1.0:
+        print(f"error: --slack must be >= 1.0, got {args.slack:g}", file=sys.stderr)
+        return 2
+    names = args.names or sorted(BENCHMARKS)
+    unknown = [n for n in names if n not in BENCHMARKS]
+    if unknown:
+        print(
+            f"error: unknown benchmark(s) {', '.join(unknown)}; "
+            f"choose from {', '.join(sorted(BENCHMARKS))}",
+            file=sys.stderr,
+        )
+        return 2
+
+    rows = []
+    failures: list[str] = []
+    for name in names:
+        result = run_benchmark(name, profile=args.profile, seed=args.seed)
+        path = save_bench(result, args.output_dir)
+        rows.append(
+            [
+                name,
+                round(result["fast"]["wall_s"], 4),
+                round(result["slow"]["wall_s"], 4),
+                f"{result['speedup']:.2f}x",
+                str(path),
+            ]
+        )
+        if args.check:
+            from pathlib import Path
+
+            base_path = Path(args.check) / f"BENCH_{name}.json"
+            if not base_path.exists():
+                failures.append(f"{name}: no baseline at {base_path}")
+            else:
+                failures.extend(
+                    check_result(result, load_results(base_path), slack=args.slack)
+                )
+    print(
+        format_table(
+            ["benchmark", "fast (s)", "slow (s)", "speedup", "output"],
+            rows,
+            title=f"hot-path benchmarks ({args.profile}, seed {args.seed})",
+        )
+    )
+    if args.check:
+        if failures:
+            for f in failures:
+                print(f"FAIL {f}", file=sys.stderr)
+            return 1
+        print(f"all {len(names)} benchmark(s) within {args.slack:g}x of baseline")
+    return 0
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
     from repro.baselines import make_scheduler
     from repro.bench.reporting import format_table
@@ -731,6 +797,43 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a JSONL telemetry event log (fault.* / chaos.* events)",
     )
     p_chaos.set_defaults(func=_cmd_chaos)
+
+    p_bench = sub.add_parser(
+        "bench", help="time GP/BO hot-path fast/slow pairs; emit BENCH_<name>.json"
+    )
+    p_bench.add_argument(
+        "names",
+        nargs="*",
+        help="benchmark names (default: all; see repro.bench.hotpath)",
+    )
+    p_bench.add_argument(
+        "--profile",
+        choices=("smoke", "medium"),
+        default="medium",
+        help="sizing profile (default: medium — the acceptance config)",
+    )
+    p_bench.add_argument("--seed", type=int, default=0)
+    p_bench.add_argument(
+        "--output-dir",
+        type=str,
+        default=".",
+        metavar="DIR",
+        help="directory for BENCH_<name>.json records (default: .)",
+    )
+    p_bench.add_argument(
+        "--check",
+        type=str,
+        default="",
+        metavar="DIR",
+        help="gate against baseline BENCH_<name>.json files in DIR; exit 1 on regression",
+    )
+    p_bench.add_argument(
+        "--slack",
+        type=float,
+        default=1.1,
+        help="allowed speedup shortfall factor for --check (default: 1.1)",
+    )
+    p_bench.set_defaults(func=_cmd_bench)
 
     p_tr = sub.add_parser(
         "trace", help="export a telemetry log to Chrome trace_event JSON"

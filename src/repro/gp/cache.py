@@ -1,0 +1,166 @@
+"""Shared kernel-matrix / Cholesky cache for the GP hot path.
+
+Every GP in the pipeline — the five outcome surrogates and the
+pairwise-preference GP — pays the same two costs per (re)fit: building
+the train-set kernel matrix K (O(n² d)) and factorizing K + σ²I
+(O(n³)).  Both depend only on (kernel hyperparameters, noise term,
+training inputs), so repeated fits with unchanged inputs — e.g. the
+preference learner refitting after each comparison on an unchanged
+item set, or a regressor re-conditioning with frozen hyperparameters —
+can reuse the previous factorization.
+
+This module provides a small process-wide LRU keyed on exactly that
+triple.  Entries are treated as immutable: callers must never write
+into a cached array (``cho_solve`` / ``solve_triangular`` reads are
+fine).  Hits and misses are counted through :mod:`repro.obs.telemetry`
+as ``gp.chol_cache_hits`` / ``gp.chol_cache_misses``.
+
+The cache is an optimization only — disable it (``configure(
+enabled=False)``) and every computation runs from scratch, which is
+the ``fast=False`` reference behavior the equivalence tests in
+``tests/properties`` compare against.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from typing import Any, Callable, Hashable
+
+import numpy as np
+
+from repro.obs import telemetry
+
+__all__ = [
+    "CholeskyCache",
+    "chol_cache",
+    "cache_key",
+    "configure",
+    "clear",
+    "stats",
+]
+
+
+def _digest(arr: np.ndarray) -> bytes:
+    """Stable fingerprint of an array's contents (shape-aware)."""
+    a = np.ascontiguousarray(arr)
+    h = hashlib.blake2b(digest_size=16)
+    h.update(str(a.shape).encode())
+    h.update(a.tobytes())
+    return h.digest()
+
+
+def cache_key(kernel, noise: float, x: np.ndarray, *, tag: str = "") -> tuple:
+    """Cache key for the factorization of ``kernel(x) + noise·I``.
+
+    The key covers everything the factorization depends on: the kernel
+    family, its full log-parameter vector, the diagonal inflation, and
+    a fingerprint of the training inputs (the "train-set version").
+    ``tag`` lets callers with extra state (e.g. different jitter
+    policies) partition their entries.
+    """
+    return (
+        tag,
+        type(kernel).__name__,
+        _digest(np.asarray(kernel.get_log_params(), dtype=float)),
+        float(noise),
+        _digest(np.asarray(x, dtype=float)),
+    )
+
+
+class CholeskyCache:
+    """Thread-safe LRU of kernel/Cholesky artifacts.
+
+    Values are whatever the compute callback returns — typically the
+    Cholesky factor alone, or a ``(K, L)`` tuple when the kernel matrix
+    itself is worth keeping.  Treat cached arrays as read-only.
+    """
+
+    def __init__(self, maxsize: int = 64) -> None:
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self.maxsize = int(maxsize)
+        self.enabled = True
+        self.hits = 0
+        self.misses = 0
+        self._store: OrderedDict[Hashable, Any] = OrderedDict()
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def get_or_compute(self, key: Hashable, compute: Callable[[], Any]) -> Any:
+        """Return the cached value for ``key``, computing it on a miss.
+
+        With the cache disabled, ``compute()`` runs unconditionally and
+        nothing is stored (the exact from-scratch behavior).
+        """
+        if not self.enabled:
+            return compute()
+        with self._lock:
+            if key in self._store:
+                self._store.move_to_end(key)
+                self.hits += 1
+                telemetry.counter("gp.chol_cache_hits")
+                return self._store[key]
+        value = compute()
+        self.put(key, value)
+        self.misses += 1
+        telemetry.counter("gp.chol_cache_misses")
+        return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert/refresh an entry (no-op while disabled)."""
+        if not self.enabled:
+            return
+        with self._lock:
+            self._store[key] = value
+            self._store.move_to_end(key)
+            while len(self._store) > self.maxsize:
+                self._store.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop all entries and reset hit/miss counts."""
+        with self._lock:
+            self._store.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def stats(self) -> dict[str, int | float]:
+        """Snapshot: hits, misses, size, and hit rate."""
+        with self._lock:
+            total = self.hits + self.misses
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "size": len(self._store),
+                "hit_rate": self.hits / total if total else 0.0,
+            }
+
+
+#: The process-wide cache shared by the outcome surrogates and the
+#: preference GP.  Sized for a handful of models' worth of entries.
+chol_cache = CholeskyCache(maxsize=64)
+
+
+def configure(*, enabled: bool | None = None, maxsize: int | None = None) -> None:
+    """Tune the shared cache; ``enabled=False`` is the slow-path switch."""
+    if enabled is not None:
+        chol_cache.enabled = bool(enabled)
+        if not enabled:
+            chol_cache.clear()
+    if maxsize is not None:
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        chol_cache.maxsize = int(maxsize)
+
+
+def clear() -> None:
+    """Drop all entries in the shared cache."""
+    chol_cache.clear()
+
+
+def stats() -> dict[str, int | float]:
+    """Hit/miss statistics of the shared cache."""
+    return chol_cache.stats()

@@ -21,6 +21,7 @@ import numpy as np
 from scipy.linalg import cho_solve
 from scipy.stats import norm
 
+from repro.gp.cache import cache_key, chol_cache
 from repro.gp.kernels import Kernel, RBFKernel
 from repro.utils import check_array_2d, check_positive, safe_cholesky
 
@@ -152,8 +153,18 @@ class PreferenceGP:
         if self.kernel is None or self.kernel.n_dims != items.shape[1]:
             self.kernel = self._default_kernel(items)
         n = data.n_items
-        k = self.kernel(items) + 1e-8 * np.eye(n)
-        k_chol = safe_cholesky(k)
+
+        def _compute() -> tuple[np.ndarray, np.ndarray]:
+            kk = self.kernel(items) + 1e-8 * np.eye(n)
+            return kk, safe_cholesky(kk)
+
+        # The learner refits after every comparison while the item set
+        # usually stays put — K and its factor depend only on
+        # (kernel, items), so the shared cache turns those refits from
+        # O(n³) into O(1) lookups.
+        k, k_chol = chol_cache.get_or_compute(
+            cache_key(self.kernel, 1e-8, items, tag="pref"), _compute
+        )
         a = data.pair_matrix()
         s = np.sqrt(2.0) * self.noise_scale
         g = np.zeros(n)
@@ -230,23 +241,39 @@ class PreferenceGP:
         )
         return mean, var
 
-    def predict_pair_probability(self, y1, y2) -> np.ndarray:
+    def predict_pair_probability(self, y1, y2, *, fast: bool = True) -> np.ndarray:
         """P(y1 ≻ y2) under the posterior, marginalizing latent noise.
 
         For jointly Gaussian (g1, g2), the probit integral has the closed
         form Φ(μ_Δ / √(2λ² + σ_Δ²)).
+
+        The fast path (default) evaluates all pairs through one joint
+        GP predict over the stacked points; ``fast=False`` is the
+        pair-at-a-time reference loop (numerically identical — the
+        same kernel evaluations, just batched).
         """
         y1 = check_array_2d("y1", y1)
         y2 = check_array_2d("y2", y2)
         if y1.shape != y2.shape:
             raise ValueError(f"y1 {y1.shape} and y2 {y2.shape} must match")
-        probs = np.empty(y1.shape[0])
-        for i in range(y1.shape[0]):
-            mean, cov = self.predict(np.vstack([y1[i], y2[i]]), return_cov=True)
-            mu_d = mean[0] - mean[1]
-            var_d = max(cov[0, 0] + cov[1, 1] - 2 * cov[0, 1], 0.0)
-            probs[i] = norm.cdf(mu_d / np.sqrt(2 * self.noise_scale**2 + var_d))
-        return probs
+        n = y1.shape[0]
+        if not fast:
+            probs = np.empty(n)
+            for i in range(n):
+                mean, cov = self.predict(np.vstack([y1[i], y2[i]]), return_cov=True)
+                mu_d = mean[0] - mean[1]
+                var_d = max(cov[0, 0] + cov[1, 1] - 2 * cov[0, 1], 0.0)
+                probs[i] = norm.cdf(mu_d / np.sqrt(2 * self.noise_scale**2 + var_d))
+            return probs
+        mean, cov = self.predict(np.vstack([y1, y2]), return_cov=True)
+        idx = np.arange(n)
+        mu_d = mean[idx] - mean[n + idx]
+        var_d = np.clip(
+            cov[idx, idx] + cov[n + idx, n + idx] - 2.0 * cov[idx, n + idx],
+            0.0,
+            None,
+        )
+        return norm.cdf(mu_d / np.sqrt(2 * self.noise_scale**2 + var_d))
 
     def sample_posterior(self, y_new, n_samples: int = 1, *, rng=None) -> np.ndarray:
         """Joint posterior samples of g at ``y_new``; (n_samples, m)."""

@@ -22,6 +22,7 @@ import numpy as np
 from scipy.linalg import cho_solve, solve_triangular
 from scipy.optimize import minimize
 
+from repro.gp.cache import cache_key, chol_cache
 from repro.gp.kernels import Kernel, Matern52Kernel
 from repro.obs import telemetry
 from repro.utils import as_generator, check_array_1d, check_array_2d, safe_cholesky
@@ -199,8 +200,9 @@ class GPRegressor:
         self.kernel.set_log_params(best_theta[:-1])
         self.noise = float(np.exp(best_theta[-1]))
 
-    def _refresh_state(self) -> None:
-        assert self.kernel is not None and self._x is not None and self._y is not None
+    def _compute_chol(self) -> np.ndarray:
+        """Factorize K + σ_n²I with the jitter-retry ladder."""
+        assert self.kernel is not None and self._x is not None
         n = self._x.shape[0]
         k = self.kernel(self._x) + self.noise * np.eye(n)
         # ``safe_cholesky`` already escalates its own jitter; optimizer-
@@ -213,15 +215,23 @@ class GPRegressor:
         last_exc: np.linalg.LinAlgError | None = None
         for _ in range(4):
             try:
-                ell = safe_cholesky(k + extra * np.eye(n) if extra else k)
-                break
+                return safe_cholesky(k + extra * np.eye(n) if extra else k)
             except np.linalg.LinAlgError as exc:
                 last_exc = exc
                 telemetry.counter("gp.cholesky_jitter_retries")
                 extra = extra * 100.0 if extra else 1e-2 * scale
-        else:
-            assert last_exc is not None
-            raise last_exc
+        assert last_exc is not None
+        raise last_exc
+
+    def _chol_key(self) -> tuple:
+        assert self.kernel is not None and self._x is not None
+        return cache_key(self.kernel, self.noise, self._x, tag="reg")
+
+    def _refresh_state(self) -> None:
+        assert self.kernel is not None and self._x is not None and self._y is not None
+        # The factorization depends only on (hyperparams, noise, X) —
+        # α is y-dependent but O(n²), so it is recomputed per call.
+        ell = chol_cache.get_or_compute(self._chol_key(), self._compute_chol)
         alpha = cho_solve((ell, True), self._y)
         self._state = _FitState(chol=ell, alpha=alpha)
 
@@ -312,16 +322,76 @@ class GPRegressor:
         ll = -0.5 * (np.log(2 * np.pi * var) + (y_test - mean) ** 2 / var)
         return float(np.mean(ll))
 
-    def condition_on(self, x_extra, y_extra) -> "GPRegressor":
+    def update(self, x_new, y_new, *, fast: bool = True) -> "GPRegressor":
+        """Condition on appended observations in place (no re-optimize).
+
+        The fast path (default) extends the existing Cholesky factor by
+        a block row — O(n²m) for m appended points instead of the
+        O((n+m)³) from-scratch refactorization — then recomputes the
+        y-standardization and α over the full data (O(n²)), so the
+        resulting posterior matches ``fit(optimize=False)`` on the
+        concatenated data to floating-point roundoff.  ``fast=False``
+        is the reference escape hatch: a plain full refit.
+
+        The fast path falls back to the full refit (counted as
+        ``gp.rank1_fallbacks``) when the Schur complement is not
+        positive definite — which only happens when the original factor
+        needed extra jitter or the appended points (numerically)
+        duplicate training inputs.
+        """
+        st = self._require_fitted()
+        assert self.kernel is not None and self._x is not None
+        assert self._y_raw is not None
+        x_new = check_array_2d("x_new", x_new, n_cols=self.kernel.n_dims)
+        y_new = check_array_1d("y_new", y_new, min_len=1)
+        if x_new.shape[0] != y_new.shape[0]:
+            raise ValueError(
+                f"x_new has {x_new.shape[0]} rows but y_new has {y_new.shape[0]}"
+            )
+        x_all = np.vstack([self._x, x_new])
+        y_all = np.concatenate([self._y_raw, y_new])
+        if not fast:
+            return self.fit(x_all, y_all, optimize=False)
+
+        n, m = self._x.shape[0], x_new.shape[0]
+        k_cross = self.kernel(self._x, x_new)  # (n, m)
+        k_new = self.kernel(x_new) + self.noise * np.eye(m)
+        l12 = solve_triangular(st.chol, k_cross, lower=True)  # (n, m)
+        schur = k_new - l12.T @ l12
+        try:
+            l22 = np.linalg.cholesky(schur)
+        except np.linalg.LinAlgError:
+            telemetry.counter("gp.rank1_fallbacks")
+            return self.fit(x_all, y_all, optimize=False)
+        ell = np.zeros((n + m, n + m))
+        ell[:n, :n] = st.chol
+        ell[n:, :n] = l12.T
+        ell[n:, n:] = l22
+        telemetry.counter("gp.rank1_updates")
+
+        self._x = x_all
+        self._y_raw = y_all
+        if self.normalize_y:
+            self._y_mean = float(np.mean(y_all))
+            self._y_std = float(np.std(y_all)) or 1.0
+        self._y = (y_all - self._y_mean) / self._y_std
+        alpha = cho_solve((ell, True), self._y)
+        self._state = _FitState(chol=ell, alpha=alpha)
+        # Seed the shared cache so a later from-scratch fit on the same
+        # (hyperparams, data) reuses this factor instead of refactoring.
+        chol_cache.put(self._chol_key(), ell)
+        return self
+
+    def condition_on(self, x_extra, y_extra, *, fast: bool = True) -> "GPRegressor":
         """Return a refit copy including extra observations (no re-optimize)."""
         if self._x is None or self._y_raw is None:
             raise RuntimeError("model is not fitted; call fit() first")
         x_extra = check_array_2d("x_extra", x_extra)
         y_extra = check_array_1d("y_extra", y_extra)
         new = GPRegressor(self.kernel, noise=self.noise, normalize_y=self.normalize_y)
-        new.fit(
-            np.vstack([self._x, x_extra]),
-            np.concatenate([self._y_raw, y_extra]),
-            optimize=False,
-        )
-        return new
+        new._x = self._x
+        new._y_raw = self._y_raw
+        new._y_mean, new._y_std = self._y_mean, self._y_std
+        new._y = self._y
+        new._state = self._state
+        return new.update(x_extra, y_extra, fast=fast)

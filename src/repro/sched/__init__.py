@@ -26,6 +26,10 @@ from repro.sched.assignment import (
     assign_groups_to_servers,
     resolve_assignment,
     communication_latency,
+    solve_group_assignment,
+    configure_assignment_cache,
+    clear_assignment_cache,
+    assignment_cache_size,
 )
 from repro.sched.solvers import (
     exact_grouping,
@@ -56,6 +60,10 @@ __all__ = [
     "assign_groups_to_servers",
     "resolve_assignment",
     "communication_latency",
+    "solve_group_assignment",
+    "configure_assignment_cache",
+    "clear_assignment_cache",
+    "assignment_cache_size",
     "exact_grouping",
     "AnnealedScheduler",
     "AnnealResult",

@@ -8,18 +8,97 @@ onto physical servers so as to minimize total communication latency
 which is a linear assignment problem (each group's cost on server n is
 its total bits divided by that server's uplink bandwidth), solved exactly
 with the Hungarian algorithm (``scipy.optimize.linear_sum_assignment``).
+
+The optimization loops evaluate thousands of candidate decisions whose
+group bit-rates and server bandwidths repeat, so the Hungarian solve is
+memoized on exactly its inputs (``(group rates, bandwidths)``) — see
+:func:`solve_group_assignment`.  Hits/misses are counted as
+``sched.assign_cache_hits`` / ``sched.assign_cache_misses``;
+``configure_assignment_cache(enabled=False)`` is the slow-path switch.
 """
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from typing import Sequence
 
 import numpy as np
 from scipy.optimize import linear_sum_assignment
 
+from repro.obs import telemetry
 from repro.sched.grouping import GroupingResult
 from repro.sched.streams import PeriodicStream
 from repro.utils import check_array_1d
+
+#: Memoized Hungarian solves keyed on (group_rate bytes, bandwidth bytes).
+_ASSIGN_CACHE: OrderedDict[bytes, tuple[int, ...]] = OrderedDict()
+_ASSIGN_CACHE_LOCK = threading.Lock()
+_assign_cache_maxsize = 4096
+_assign_cache_enabled = True
+
+
+def configure_assignment_cache(
+    *, enabled: bool | None = None, maxsize: int | None = None
+) -> None:
+    """Tune the Hungarian-solve memo; ``enabled=False`` disables it."""
+    global _assign_cache_enabled, _assign_cache_maxsize
+    if enabled is not None:
+        _assign_cache_enabled = bool(enabled)
+        if not enabled:
+            clear_assignment_cache()
+    if maxsize is not None:
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        _assign_cache_maxsize = int(maxsize)
+
+
+def clear_assignment_cache() -> None:
+    """Drop all memoized Hungarian solves."""
+    with _ASSIGN_CACHE_LOCK:
+        _ASSIGN_CACHE.clear()
+
+
+def assignment_cache_size() -> int:
+    """Number of memoized Hungarian solves currently held."""
+    return len(_ASSIGN_CACHE)
+
+
+def solve_group_assignment(
+    group_rate: np.ndarray, bandwidths_mbps: np.ndarray, *, use_cache: bool = True
+) -> tuple[int, ...]:
+    """Server index per group minimizing Σ rate_j / B_{q_j} (Hungarian).
+
+    ``group_rate`` is each group's total bit-rate (bits/s); the cost of
+    putting group j on server n is ``group_rate_j / B_n`` so heavy
+    groups land on fat uplinks.  Empty groups cost zero everywhere and
+    absorb the surplus servers.  Results are memoized on the exact
+    input arrays (the cost matrix is a deterministic function of them);
+    pass ``use_cache=False`` to force a fresh solve.
+    """
+    rate = np.ascontiguousarray(np.asarray(group_rate, dtype=float))
+    bw = np.ascontiguousarray(np.asarray(bandwidths_mbps, dtype=float))
+    cached = use_cache and _assign_cache_enabled
+    if cached:
+        key = rate.tobytes() + b"|" + bw.tobytes()
+        with _ASSIGN_CACHE_LOCK:
+            hit = _ASSIGN_CACHE.get(key)
+            if hit is not None:
+                _ASSIGN_CACHE.move_to_end(key)
+                telemetry.counter("sched.assign_cache_hits")
+                return hit
+    cost = rate[:, None] / (bw[None, :] * 1e6)
+    row, col = linear_sum_assignment(cost)
+    server_of_group = np.full(rate.size, -1, dtype=int)
+    server_of_group[row] = col
+    result = tuple(int(v) for v in server_of_group)
+    if cached:
+        telemetry.counter("sched.assign_cache_misses")
+        with _ASSIGN_CACHE_LOCK:
+            _ASSIGN_CACHE[key] = result
+            while len(_ASSIGN_CACHE) > _assign_cache_maxsize:
+                _ASSIGN_CACHE.popitem(last=False)
+    return result
 
 
 def communication_latency(
@@ -37,40 +116,40 @@ def communication_latency(
     return total
 
 
+def _group_rates(grouping: GroupingResult) -> np.ndarray:
+    """Total bit-rate (bits/s) per group: Σ bits_per_frame × fps.
+
+    Bits *per second* (not per frame) so the objective weighs
+    frequently-sending streams more, matching the average-
+    communication-latency objective over time.
+    """
+    return np.array(
+        [sum(s.bits_per_frame * s.fps for s in grp) for grp in grouping.groups]
+    )
+
+
 def assign_groups_to_servers(
     grouping: GroupingResult,
     bandwidths_mbps: Sequence[float],
+    *,
+    use_cache: bool = True,
 ) -> list[int]:
     """Hungarian mapping of groups to servers; returns per-stream q vector.
 
     The returned list is indexed by *stream order in the grouping* —
     callers should use :meth:`resolve_assignment` for an id-keyed view.
-    Cost of putting group j on server n is ``group_bits_per_second_j / B_n``
-    scaled so heavy groups land on fat uplinks.  Empty groups cost zero
-    everywhere and absorb the surplus servers.
+    The underlying solve is memoized (see :func:`solve_group_assignment`).
     """
     bw = check_array_1d("bandwidths_mbps", bandwidths_mbps, min_len=1)
     n_groups = len(grouping.groups)
     if n_groups > bw.size:
         raise ValueError(f"{n_groups} groups but only {bw.size} servers")
 
-    # Cost matrix (groups x servers). Use bits *per second* (bits/frame × fps)
-    # so the objective weighs frequently-sending streams more, matching the
-    # average-communication-latency objective over time.
-    group_rate = np.array(
-        [sum(s.bits_per_frame * s.fps for s in grp) for grp in grouping.groups]
+    server_of_group = solve_group_assignment(
+        _group_rates(grouping), bw, use_cache=use_cache
     )
-    cost = group_rate[:, None] / (bw[None, :] * 1e6)
-    row, col = linear_sum_assignment(cost)
-    server_of_group = dict(zip(row.tolist(), col.tolist()))
-
-    assignment: dict[int, int] = {}
-    for j, grp in enumerate(grouping.groups):
-        for s in grp:
-            assignment[s.stream_id] = server_of_group[j]
     # Return q in the order streams appear in the grouping's flat list.
-    ordered_ids = [s.stream_id for grp in grouping.groups for s in grp]
-    return [assignment[i] for i in ordered_ids]
+    return [server_of_group[j] for j, grp in enumerate(grouping.groups) for _ in grp]
 
 
 def reassign_to_surviving(
@@ -132,10 +211,5 @@ def resolve_assignment(
 ) -> list[int]:
     """Per-stream server vector aligned with the caller's ``streams`` order."""
     bw = check_array_1d("bandwidths_mbps", bandwidths_mbps, min_len=1)
-    group_rate = np.array(
-        [sum(s.bits_per_frame * s.fps for s in grp) for grp in grouping.groups]
-    )
-    cost = group_rate[:, None] / (bw[None, :] * 1e6)
-    row, col = linear_sum_assignment(cost)
-    server_of_group = dict(zip(row.tolist(), col.tolist()))
+    server_of_group = solve_group_assignment(_group_rates(grouping), bw)
     return [server_of_group[grouping.group_of[s.stream_id]] for s in streams]

@@ -1,0 +1,123 @@
+"""Tests for the hot-path benchmark harness and its CLI/gate plumbing."""
+
+import json
+
+import pytest
+
+from repro.bench.hotpath import (
+    BENCHMARKS,
+    PROFILES,
+    check_result,
+    run_benchmark,
+    run_benchmarks,
+    save_bench,
+)
+from repro.bench.io import load_results
+
+
+class TestHarness:
+    def test_profiles_cover_every_benchmark(self):
+        for profile, sizes in PROFILES.items():
+            assert set(sizes) == set(BENCHMARKS), profile
+
+    def test_unknown_names_raise(self):
+        with pytest.raises(ValueError, match="unknown benchmark"):
+            run_benchmark("nope", profile="smoke")
+        with pytest.raises(ValueError, match="unknown profile"):
+            run_benchmark("gp_update", profile="nope")
+
+    def test_record_shape_and_counters(self):
+        r = run_benchmark("gp_update", profile="smoke", seed=0)
+        assert r["name"] == "gp_update"
+        assert r["profile"] == "smoke"
+        assert r["fast"]["wall_s"] > 0 and r["slow"]["wall_s"] > 0
+        assert r["speedup"] == pytest.approx(
+            r["slow"]["wall_s"] / r["fast"]["wall_s"]
+        )
+        # the fast run actually exercised the incremental path
+        assert r["counters"]["gp.rank1_updates"] > 0
+
+    def test_assignment_bench_hits_cache(self):
+        r = run_benchmark("assignment_cache", profile="smoke", seed=0)
+        assert r["counters"]["sched.assign_cache_hits"] > 0
+        assert r["counters"]["sched.assign_cache_misses"] > 0
+
+    def test_eubo_bench_counts_vectorized_pairs(self):
+        r = run_benchmark("eubo_pairs", profile="smoke", seed=0)
+        assert r["counters"]["acq.eubo_vectorized_pairs"] > 0
+
+    def test_run_benchmarks_default_runs_all(self):
+        names = [r["name"] for r in run_benchmarks(profile="smoke")]
+        assert names == list(BENCHMARKS)
+
+
+class TestSaveAndCheck:
+    def _fake(self, fast_s, slow_s, name="gp_update"):
+        return {
+            "name": name,
+            "fast": {"wall_s": fast_s, "iters_per_s": 1 / fast_s},
+            "slow": {"wall_s": slow_s, "iters_per_s": 1 / slow_s},
+            "speedup": slow_s / fast_s,
+        }
+
+    def test_save_bench_roundtrip(self, tmp_path):
+        r = self._fake(0.5, 2.0)
+        path = save_bench(r, tmp_path)
+        assert path.name == "BENCH_gp_update.json"
+        loaded = load_results(path)
+        assert loaded["speedup"] == pytest.approx(4.0)
+        json.loads(path.read_text())  # plain JSON on disk
+
+    def test_check_passes_within_slack(self):
+        baseline = self._fake(1.0, 4.0)  # 4x
+        result = self._fake(1.05, 4.0)  # slightly slower wall, 3.8x speedup
+        assert check_result(result, baseline, slack=1.1) == []
+
+    def test_check_forgives_slow_machine_with_held_speedup(self):
+        baseline = self._fake(1.0, 4.0)  # 4x
+        result = self._fake(3.0, 12.0)  # 3x slower machine, same 4x speedup
+        assert check_result(result, baseline, slack=1.1) == []
+
+    def test_check_fails_on_real_regression(self):
+        baseline = self._fake(1.0, 4.0)  # 4x
+        result = self._fake(4.0, 4.4)  # slow AND speedup collapsed to 1.1x
+        failures = check_result(result, baseline, slack=1.1)
+        assert len(failures) == 1
+        assert "gp_update" in failures[0]
+
+    def test_check_slack_validation(self):
+        with pytest.raises(ValueError):
+            check_result(self._fake(1, 2), self._fake(1, 2), slack=0.9)
+
+
+class TestRecordedBaselines:
+    """The committed baselines must stay loadable and self-consistent."""
+
+    @pytest.mark.parametrize("profile", sorted(PROFILES))
+    def test_baselines_exist_for_every_benchmark(self, profile):
+        from pathlib import Path
+
+        base_dir = (
+            Path(__file__).resolve().parents[2]
+            / "benchmarks"
+            / "baselines"
+            / profile
+        )
+        for name in BENCHMARKS:
+            record = load_results(base_dir / f"BENCH_{name}.json")
+            assert record["name"] == name
+            assert record["profile"] == profile
+            assert record["speedup"] > 0
+
+    def test_medium_bo_hot_path_meets_speedup_floor(self):
+        from pathlib import Path
+
+        record = load_results(
+            Path(__file__).resolve().parents[2]
+            / "benchmarks"
+            / "baselines"
+            / "medium"
+            / "BENCH_bo_hot_path.json"
+        )
+        # the acceptance criterion this PR ships under: >= 2x on medium
+        assert record["speedup"] >= 2.0

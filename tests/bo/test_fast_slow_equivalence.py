@@ -1,0 +1,126 @@
+"""Fast==slow equivalence for the vectorized BO paths.
+
+Every vectorized hot path added for performance keeps its original
+per-candidate / per-pair / from-scratch implementation behind a
+``fast=False`` escape hatch.  These tests drive both paths on shared
+inputs and seeds and require identical (or tolerance-tight) results —
+the contract that makes the benchmarks meaningful.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bo import eubo_closed_form, eubo_for_pairs
+from repro.bo.acquisition import QEI, QNEI, QSR, QUCB
+from repro.gp import cache as gp_cache
+from repro.gp.preference import ComparisonData, PreferenceGP
+from repro.outcomes.surrogate import OutcomeSurrogateBank
+
+
+def _sampler(x, s, rng):
+    mean = np.sin(3.0 * x[:, 0]) + 0.5 * x[:, 1]
+    return mean[None, :] + 0.25 * rng.standard_normal((s, x.shape[0]))
+
+
+class TestAcquisitionFastSlow:
+    @pytest.mark.parametrize("acq_cls", [QNEI, QEI, QUCB, QSR])
+    def test_select_batch_identical(self, acq_cls, rng):
+        pool = rng.uniform(0, 1, (40, 2))
+        observed_x = rng.uniform(0, 1, (8, 2))
+        observed_z = rng.uniform(0, 1, 8)
+        fast = acq_cls(n_samples=64, fast=True)
+        slow = acq_cls(n_samples=64, fast=False)
+        kw = dict(observed_x=observed_x, observed_z=observed_z, rng=123)
+        idx_fast = fast.select_batch(_sampler, pool, 5, **kw)
+        idx_slow = slow.select_batch(_sampler, pool, 5, **kw)
+        np.testing.assert_array_equal(idx_fast, idx_slow)
+        assert fast.last_batch_value == pytest.approx(
+            slow.last_batch_value, rel=0, abs=1e-12
+        )
+
+    def test_select_batch_identical_without_incumbent(self, rng):
+        pool = rng.uniform(0, 1, (30, 2))
+        fast = QNEI(n_samples=32, fast=True)
+        slow = QNEI(n_samples=32, fast=False)
+        np.testing.assert_array_equal(
+            fast.select_batch(_sampler, pool, 3, rng=7),
+            slow.select_batch(_sampler, pool, 3, rng=7),
+        )
+
+
+class TestEuboFastSlow:
+    def _model_and_items(self, rng, n_items=15):
+        items = rng.uniform(0, 1, (n_items, 3))
+        utility = items @ np.array([1.0, -0.3, 0.5])
+        data = ComparisonData(items=items)
+        for _ in range(2 * n_items):
+            i, j = rng.choice(n_items, 2, replace=False)
+            w, l = (i, j) if utility[i] >= utility[j] else (j, i)
+            data.add_comparison(int(w), int(l))
+        return PreferenceGP().fit(data), items
+
+    def test_pairs_fast_matches_slow(self, rng):
+        model, items = self._model_and_items(rng)
+        pairs = [(i, j) for i in range(len(items)) for j in range(i + 1, len(items))]
+        v_fast = eubo_for_pairs(model, items, pairs, fast=True)
+        v_slow = eubo_for_pairs(model, items, pairs, fast=False)
+        np.testing.assert_allclose(v_fast, v_slow, rtol=0, atol=1e-10)
+
+    def test_batch_matches_scalar_closed_form(self, rng):
+        model, items = self._model_and_items(rng)
+        mean, cov = model.predict(items, return_cov=True)
+        for i, j in [(0, 1), (2, 7), (3, 3)]:
+            mu = np.array([mean[i], mean[j]])
+            c = np.array([[cov[i, i], cov[i, j]], [cov[j, i], cov[j, j]]])
+            scalar = eubo_closed_form(mu, c)
+            vec = eubo_for_pairs(model, items, [(i, j)], fast=True)[0]
+            assert vec == pytest.approx(scalar, rel=0, abs=1e-10)
+
+    def test_empty_pairs(self, rng):
+        model, items = self._model_and_items(rng)
+        assert eubo_for_pairs(model, items, [], fast=True).shape == (0,)
+
+
+class TestBankUpdateFastSlow:
+    def _fitted_bank(self, rng, n=30):
+        x = np.stack(
+            [rng.uniform(200, 2000, n), rng.uniform(1, 30, n)], axis=1
+        )
+        y = rng.uniform(0.1, 1.0, (n, 5))
+        return OutcomeSurrogateBank().fit(x, y, optimize=True, rng=rng), x, y
+
+    def test_update_fast_matches_slow(self, rng):
+        gp_cache.configure(enabled=False)
+        try:
+            import copy
+
+            bank, x, y = self._fitted_bank(rng)
+            x_new = np.stack(
+                [rng.uniform(200, 2000, 6), rng.uniform(1, 30, 6)], axis=1
+            )
+            y_new = rng.uniform(0.1, 1.0, (6, 5))
+            fast = copy.deepcopy(bank).update(x_new, y_new, fast=True)
+            slow = copy.deepcopy(bank).update(x_new, y_new, fast=False)
+            probe = np.stack(
+                [rng.uniform(200, 2000, 10), rng.uniform(1, 30, 10)], axis=1
+            )
+            m_fast, v_fast = fast.predict_per_stream(probe)
+            m_slow, v_slow = slow.predict_per_stream(probe)
+            np.testing.assert_allclose(m_fast, m_slow, rtol=0, atol=1e-8)
+            np.testing.assert_allclose(v_fast, v_slow, rtol=0, atol=1e-8)
+        finally:
+            gp_cache.configure(enabled=True)
+
+    def test_update_preserves_hyperparameters(self, rng):
+        bank, x, y = self._fitted_bank(rng)
+        params_before = {
+            name: gp.kernel.get_log_params().copy()
+            for name, gp in bank.models.items()
+        }
+        x_new = np.stack([rng.uniform(200, 2000, 4), rng.uniform(1, 30, 4)], axis=1)
+        bank.update(x_new, rng.uniform(0.1, 1.0, (4, 5)), fast=True)
+        for name, gp in bank.models.items():
+            np.testing.assert_array_equal(
+                gp.kernel.get_log_params(), params_before[name]
+            )
+            assert gp.n_train == x.shape[0] + 4

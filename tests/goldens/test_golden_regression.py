@@ -1,0 +1,55 @@
+"""Golden regression: seeded end-to-end PaMO pinned to stored records.
+
+Each case replays the full pipeline — problem construction, profiling,
+preference learning, the BO loop on the fast GP/BO paths — with a
+fixed seed and compares the incumbent benefit and final decision
+against ``pamo_goldens.json``.  A mismatch means behavior drifted:
+either an unintended side effect (fix the change) or an intentional
+one (rerun ``benchmarks/regen_goldens.py`` and commit the refreshed
+records with the change that caused them).
+"""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import make_problem, run_method
+from repro.core import make_preference
+
+GOLDEN_PATH = Path(__file__).parent / "pamo_goldens.json"
+GOLDENS = json.loads(GOLDEN_PATH.read_text())
+
+
+@pytest.mark.parametrize(
+    "golden",
+    GOLDENS,
+    ids=[f"{g['method']}-s{g['seed']}" for g in GOLDENS],
+)
+def test_seeded_run_matches_golden(golden):
+    problem = make_problem(
+        golden["n_streams"], golden["n_servers"], rng=golden["seed"]
+    )
+    preference = make_preference(problem)
+    result = run_method(
+        golden["method"], problem, preference, seed=golden["seed"], measured=False
+    )
+
+    assert result.true_benefit == pytest.approx(
+        golden["true_benefit"], rel=1e-9, abs=1e-12
+    )
+    np.testing.assert_allclose(
+        result.outcome, golden["outcome"], rtol=1e-9, atol=1e-12
+    )
+    np.testing.assert_allclose(
+        result.extras["resolutions"], golden["resolutions"], rtol=1e-9
+    )
+    np.testing.assert_allclose(result.extras["fps"], golden["fps"], rtol=1e-9)
+    assert result.extras["n_iterations"] == golden["n_iterations"]
+    assert result.extras["n_dm_queries"] == golden["n_dm_queries"]
+
+
+def test_goldens_cover_both_pamo_variants():
+    methods = {g["method"] for g in GOLDENS}
+    assert {"PaMO", "PaMO+"} <= methods

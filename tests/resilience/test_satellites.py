@@ -12,6 +12,7 @@ import numpy as np
 import pytest
 
 import repro.gp.regression as regression
+from repro.gp import cache as gp_cache
 from repro.gp.preference import ComparisonData, PreferenceGP
 from repro.obs import MemorySink, telemetry
 from repro.pref.learner import PreferenceLearner
@@ -26,6 +27,13 @@ def _train_data(n=12, d=2, rng=0):
 
 
 class TestCholeskyRetry:
+    @pytest.fixture(autouse=True)
+    def _no_chol_cache(self):
+        # a cached factor would bypass the monkeypatched decomposition
+        gp_cache.chol_cache.clear()
+        yield
+        gp_cache.chol_cache.clear()
+
     def test_transient_failure_recovers_with_jitter(self, monkeypatch):
         calls = {"n": 0}
 

@@ -1,0 +1,116 @@
+"""Tests for the memoized Hungarian group→server assignment."""
+
+import numpy as np
+import pytest
+
+from repro.sched import PeriodicStream, group_streams
+from repro.sched.assignment import (
+    assign_groups_to_servers,
+    assignment_cache_size,
+    clear_assignment_cache,
+    configure_assignment_cache,
+    resolve_assignment,
+    solve_group_assignment,
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    configure_assignment_cache(enabled=True, maxsize=4096)
+    clear_assignment_cache()
+    yield
+    configure_assignment_cache(enabled=True, maxsize=4096)
+    clear_assignment_cache()
+
+
+def _streams(n, fps=10.0):
+    return [
+        PeriodicStream(
+            stream_id=i,
+            fps=fps,
+            resolution=960.0,
+            processing_time=0.01,
+            bits_per_frame=1e5 * (i + 1),
+        )
+        for i in range(n)
+    ]
+
+
+class TestSolveGroupAssignment:
+    def test_cached_equals_fresh(self):
+        rate = np.array([3e6, 1e6, 2e6])
+        bw = np.array([10.0, 30.0, 20.0])
+        cached = solve_group_assignment(rate, bw)
+        again = solve_group_assignment(rate, bw)
+        fresh = solve_group_assignment(rate, bw, use_cache=False)
+        assert cached == again == fresh
+
+    def test_heaviest_group_gets_fattest_uplink(self):
+        rate = np.array([1e6, 9e6])
+        bw = np.array([5.0, 30.0])
+        q = solve_group_assignment(rate, bw)
+        assert q[1] == 1  # heavy group on the 30 Mbps server
+        assert q[0] == 0
+
+    def test_cache_grows_and_clears(self):
+        bw = np.array([10.0, 20.0])
+        solve_group_assignment(np.array([1e6, 2e6]), bw)
+        solve_group_assignment(np.array([2e6, 1e6]), bw)
+        assert assignment_cache_size() == 2
+        clear_assignment_cache()
+        assert assignment_cache_size() == 0
+
+    def test_disabled_cache_stores_nothing(self):
+        configure_assignment_cache(enabled=False)
+        bw = np.array([10.0, 20.0])
+        a = solve_group_assignment(np.array([1e6, 2e6]), bw)
+        b = solve_group_assignment(np.array([1e6, 2e6]), bw)
+        assert a == b
+        assert assignment_cache_size() == 0
+
+    def test_maxsize_evicts_oldest(self):
+        configure_assignment_cache(maxsize=2)
+        bw = np.array([10.0, 20.0, 30.0])
+        for k in range(3):
+            solve_group_assignment(np.array([1e6 * (k + 1), 2e6, 3e6]), bw)
+        assert assignment_cache_size() == 2
+
+    def test_maxsize_validation(self):
+        with pytest.raises(ValueError):
+            configure_assignment_cache(maxsize=0)
+
+    def test_different_bandwidths_do_not_collide(self):
+        rate = np.array([5e6, 1e6])
+        a = solve_group_assignment(rate, np.array([10.0, 30.0]))
+        b = solve_group_assignment(rate, np.array([30.0, 10.0]))
+        assert a != b  # heavy group follows the fat uplink
+
+
+class TestCallerConsistency:
+    def test_assign_groups_cached_vs_uncached(self):
+        streams = _streams(6)
+        grouping = group_streams(streams, 3, strict=False)
+        bw = [10.0, 20.0, 30.0]
+        q_cached = assign_groups_to_servers(grouping, bw)
+        q_fresh = assign_groups_to_servers(grouping, bw, use_cache=False)
+        assert q_cached == q_fresh
+
+    def test_resolve_assignment_repeat_hits_cache(self):
+        streams = _streams(6)
+        grouping = group_streams(streams, 3, strict=False)
+        bw = [10.0, 20.0, 30.0]
+        q1 = resolve_assignment(grouping, bw, streams)
+        size_after_first = assignment_cache_size()
+        q2 = resolve_assignment(grouping, bw, streams)
+        assert q1 == q2
+        assert assignment_cache_size() == size_after_first  # pure hit, no growth
+
+    def test_resolve_matches_assign_ordering(self):
+        streams = _streams(5)
+        grouping = group_streams(streams, 3, strict=False)
+        bw = [10.0, 20.0, 30.0]
+        by_stream = resolve_assignment(grouping, bw, streams)
+        flat = assign_groups_to_servers(grouping, bw)
+        ordered_ids = [s.stream_id for grp in grouping.groups for s in grp]
+        for sid, q in zip(ordered_ids, flat):
+            assert by_stream[sid] == q

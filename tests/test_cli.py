@@ -163,3 +163,44 @@ class TestFigure:
         assert "_telemetry" in data
         assert "spans" in data["_telemetry"]
         assert tel_path.exists()
+
+
+class TestBench:
+    def test_bench_writes_records_and_table(self, capsys, tmp_path):
+        rc = main(
+            ["bench", "gp_update", "assignment_cache", "--profile", "smoke",
+             "--output-dir", str(tmp_path)]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "gp_update" in out and "speedup" in out
+        assert (tmp_path / "BENCH_gp_update.json").exists()
+        assert (tmp_path / "BENCH_assignment_cache.json").exists()
+
+    def test_bench_unknown_name_errors(self, capsys, tmp_path):
+        rc = main(["bench", "warp_drive", "--output-dir", str(tmp_path)])
+        assert rc == 2
+        assert "unknown benchmark" in capsys.readouterr().err
+
+    def test_bench_check_gate(self, capsys, tmp_path):
+        base_dir = tmp_path / "base"
+        rc = main(
+            ["bench", "assignment_cache", "--profile", "smoke",
+             "--output-dir", str(base_dir)]
+        )
+        assert rc == 0
+        rc = main(
+            ["bench", "assignment_cache", "--profile", "smoke",
+             "--output-dir", str(tmp_path), "--check", str(base_dir),
+             "--slack", "10.0"]
+        )
+        assert rc == 0
+        assert "within" in capsys.readouterr().out
+
+    def test_bench_check_missing_baseline_fails(self, capsys, tmp_path):
+        rc = main(
+            ["bench", "gp_update", "--profile", "smoke",
+             "--output-dir", str(tmp_path), "--check", str(tmp_path / "void")]
+        )
+        assert rc == 1
+        assert "no baseline" in capsys.readouterr().err

@@ -1,0 +1,156 @@
+"""Deprecation-shim sweep: the PR-1 constructor shims warn and map right.
+
+``absorb_positional`` / ``resolve_deprecated`` keep one release of
+backwards compatibility for the keyword-only constructor migration.
+These tests pin that every shim (a) fires ``DeprecationWarning``, (b)
+maps the legacy spelling onto the new parameter exactly, and (c)
+rejects ambiguous double-spellings — both at the helper level and at
+representative real call sites (``BOLoop(max_iters=…)``, the scheduler
+constructors' legacy positional args).
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.utils.compat import absorb_positional, resolve_deprecated
+
+
+class TestResolveDeprecated:
+    def test_old_value_warns_and_wins(self):
+        with pytest.warns(DeprecationWarning, match="'max_iters' is deprecated"):
+            out = resolve_deprecated(
+                "Owner", "max_iters", 7, "n_iterations", None, default=20
+            )
+        assert out == 7
+
+    def test_new_value_silent(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            out = resolve_deprecated(
+                "Owner", "max_iters", None, "n_iterations", 9, default=20
+            )
+        assert out == 9
+
+    def test_default_when_neither_given(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            out = resolve_deprecated(
+                "Owner", "max_iters", None, "n_iterations", None, default=20
+            )
+        assert out == 20
+
+    def test_both_given_raises(self):
+        with pytest.raises(TypeError, match="both 'n_iterations' and"):
+            resolve_deprecated(
+                "Owner", "max_iters", 7, "n_iterations", 9, default=20
+            )
+
+
+class TestAbsorbPositional:
+    def test_maps_positionals_in_order_with_warning(self):
+        kwargs = {"a": None, "b": None}
+        with pytest.warns(DeprecationWarning, match="positionally is deprecated"):
+            out = absorb_positional("Owner", (1, 2), ("a", "b"), kwargs)
+        assert out == {"a": 1, "b": 2}
+
+    def test_partial_positionals_leave_rest_untouched(self):
+        kwargs = {"a": None, "b": 5}
+        with pytest.warns(DeprecationWarning):
+            out = absorb_positional("Owner", (1,), ("a", "b"), kwargs)
+        assert out == {"a": 1, "b": 5}
+
+    def test_no_args_is_silent_noop(self):
+        kwargs = {"a": None}
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert absorb_positional("Owner", (), ("a",), kwargs) is kwargs
+
+    def test_duplicate_spelling_raises(self):
+        with pytest.raises(TypeError, match="multiple values for argument 'a'"):
+            absorb_positional("Owner", (1,), ("a",), {"a": 2})
+
+    def test_too_many_positionals_raises(self):
+        with pytest.raises(TypeError, match="at most 1 positional"):
+            absorb_positional("Owner", (1, 2), ("a",), {"a": None})
+
+
+class TestRealCallSites:
+    """The shims as wired into actual constructors."""
+
+    def _loop_kwargs(self):
+        return dict(
+            adapter=None,
+            observe=lambda xb: xb,
+            benefit_of=lambda obs: np.asarray(obs, dtype=float),
+            candidates=lambda rng: rng.uniform(0, 1, (4, 1)),
+        )
+
+    def test_boloop_max_iters_warns_and_maps(self):
+        from repro.bo import BOLoop
+
+        kw = self._loop_kwargs()
+        with pytest.warns(DeprecationWarning, match="max_iters"):
+            loop = BOLoop(
+                kw["adapter"], kw["observe"], kw["benefit_of"], kw["candidates"],
+                max_iters=5,
+            )
+        assert loop.n_iterations == 5
+        assert loop.max_iters == 5  # deprecated read-alias
+
+    def test_boloop_n_iterations_silent(self):
+        from repro.bo import BOLoop
+
+        kw = self._loop_kwargs()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            loop = BOLoop(
+                kw["adapter"], kw["observe"], kw["benefit_of"], kw["candidates"],
+                n_iterations=6,
+            )
+        assert loop.n_iterations == 6
+
+    def test_boloop_both_spellings_raise(self):
+        from repro.bo import BOLoop
+
+        kw = self._loop_kwargs()
+        with pytest.raises(TypeError, match="deprecated"):
+            BOLoop(
+                kw["adapter"], kw["observe"], kw["benefit_of"], kw["candidates"],
+                max_iters=5, n_iterations=6,
+            )
+
+    def test_weighted_scheduler_legacy_positional_rule(self):
+        from repro.baselines.weighted import WeightedSumScheduler
+        from repro.core import EVAProblem
+
+        problem = EVAProblem(n_streams=2, bandwidths_mbps=[10.0, 10.0])
+        with pytest.warns(DeprecationWarning, match="positionally is deprecated"):
+            sched = WeightedSumScheduler(problem, "equal")
+        assert sched.rule == "equal"
+
+    def test_weighted_scheduler_keyword_rule_silent(self):
+        from repro.baselines.weighted import WeightedSumScheduler
+        from repro.core import EVAProblem
+
+        problem = EVAProblem(n_streams=2, bandwidths_mbps=[10.0, 10.0])
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            sched = WeightedSumScheduler(problem, rule="equal")
+        assert sched.rule == "equal"
+
+
+class TestFactJcabAliases:
+    @pytest.mark.parametrize(
+        "name, alias",
+        [("jcab", "n_slots"), ("fact", "max_sweeps")],
+    )
+    def test_iteration_alias_warns_and_maps(self, name, alias):
+        from repro.baselines import make_scheduler
+        from repro.core import EVAProblem
+
+        problem = EVAProblem(n_streams=2, bandwidths_mbps=[10.0, 10.0])
+        with pytest.warns(DeprecationWarning, match=alias):
+            sched = make_scheduler(name, problem, rng=0, **{alias: 3})
+        assert sched.n_iterations == 3
