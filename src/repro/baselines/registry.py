@@ -164,3 +164,13 @@ def _make_random(problem, *, preference=None, decision_maker=None,
             )
         benefit_fn = preference.value
     return RandomSearch(problem, benefit_fn=benefit_fn, rng=rng, **kw)
+
+
+@register_scheduler("greedy")
+def _make_greedy(problem, *, preference=None, decision_maker=None,
+                 benefit_fn=None, rng=None, dm_noise=0.0, **kw):
+    if preference is None:
+        raise ValueError("scheduler 'greedy' needs 'preference' to rank with")
+    from repro.serve.greedy import GreedyScheduler
+
+    return GreedyScheduler(problem, preference=preference, rng=rng, **kw)

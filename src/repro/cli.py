@@ -21,11 +21,21 @@ Commands:
 * ``bench`` — time the GP/BO hot-path fast/slow pairs on fixed seeds,
   write ``BENCH_<name>.json`` records, and optionally gate against
   recorded baselines (``--check``; the CI bench-smoke job);
+* ``serve`` — the event-driven online scheduler service family:
+  ``serve loadgen`` writes a seeded churn event log, ``serve run``
+  replays one through :class:`repro.serve.SchedulerService` (with
+  ``--telemetry``, ``--checkpoint``/``--resume``), and
+  ``serve report`` summarizes a serve trace with decision-latency
+  percentiles and an optional ``--max-p95`` CI gate;
 * ``info`` — version and module inventory.
 
 ``optimize`` also understands ``--checkpoint PATH`` /
 ``--checkpoint-every N`` (periodically pickle a resumable snapshot)
 and ``--resume CKPT`` (continue an interrupted run bit-identically).
+
+The parser is assembled from per-subsystem ``_register_*`` functions
+(core, bench/figures, obs, resilience, serve), each owning its
+``add_parser`` blocks; existing command spellings are stable.
 """
 
 from __future__ import annotations
@@ -647,27 +657,243 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
-def build_parser() -> argparse.ArgumentParser:
-    """Construct the argparse tree for `python -m repro`."""
-    parser = argparse.ArgumentParser(
-        prog="repro",
-        description="PaMO reproduction: preference-aware EVA scheduling",
-    )
-    parser.add_argument("--version", action="version", version=__version__)
-    sub = parser.add_subparsers(dest="command", required=True)
+def _parse_bandwidths(args: argparse.Namespace, n_servers: int, gen) -> list[float] | None:
+    """Resolve --bandwidths (or seeded defaults); None + stderr on mismatch."""
+    if args.bandwidths:
+        bw = [float(b) for b in args.bandwidths.split(",")]
+        if len(bw) != n_servers:
+            print(
+                f"error: --bandwidths gives {len(bw)} values for "
+                f"{n_servers} servers",
+                file=sys.stderr,
+            )
+            return None
+        return bw
+    return gen.choice([5.0, 10.0, 15.0, 20.0, 25.0, 30.0], n_servers).tolist()
 
+
+def _churn_profile(args: argparse.Namespace):
+    from repro.serve import ChurnProfile
+
+    return ChurnProfile(
+        hours=args.hours,
+        arrivals_per_hour=args.arrivals_per_hour,
+        departures_per_hour=args.departures_per_hour,
+        drifts_per_hour=args.drifts_per_hour,
+        flaps_per_hour=args.flaps_per_hour,
+    )
+
+
+def _cmd_serve_loadgen(args: argparse.Namespace) -> int:
+    from collections import Counter
+
+    from repro.serve import generate_load
+
+    try:
+        log = generate_load(
+            args.streams, args.servers, profile=_churn_profile(args), seed=args.seed
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if err := _check_writable(args.output):
+        print(f"error: cannot write {args.output}: {err}", file=sys.stderr)
+        return 2
+    path = log.save(args.output)
+    counts = Counter(e.kind for e in log)
+    mix = ", ".join(f"{k}={counts[k]}" for k in sorted(counts))
+    print(
+        f"wrote {len(log)} events to {path} "
+        f"({args.streams} streams, {args.servers} servers, "
+        f"{args.hours:g} h, seed {args.seed})"
+    )
+    print(f"event mix: {mix or 'none'}")
+    print(f"replay with: repro serve run --events {path}")
+    return 0
+
+
+def _cmd_serve_run(args: argparse.Namespace) -> int:
+    from repro.core import EVAProblem
+    from repro.obs import telemetry
+    from repro.sched.grouping import InfeasibleScheduleError
+    from repro.serve import (
+        EventLog,
+        RegistryFactory,
+        SchedulerService,
+        approx_preference,
+        generate_load,
+    )
+    from repro.utils import as_generator
+
+    log = None
+    if args.events:
+        try:
+            log = EventLog.load(args.events)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"error: cannot load {args.events}: {exc}", file=sys.stderr)
+            return 2
+    if args.resume:
+        from repro.resilience.checkpoint import load_checkpoint  # noqa: F401
+
+        try:
+            service = SchedulerService.resume(args.resume)
+        except (OSError, ValueError, EOFError, pickle.UnpicklingError) as exc:
+            print(f"error: cannot resume from {args.resume}: {exc}", file=sys.stderr)
+            return 2
+        print(
+            f"resuming serve run from {args.resume} "
+            f"(epoch {service.epoch}, {len(service.planner.entries)} streams, "
+            f"{len(service.queue)} queued events)"
+        )
+    else:
+        if log is not None:
+            n_streams = log.n_streams or args.streams
+            n_servers = log.n_servers or args.servers
+        else:
+            n_streams, n_servers = args.streams, args.servers
+        gen = as_generator(args.seed)
+        bw = _parse_bandwidths(args, n_servers, gen)
+        if bw is None:
+            return 2
+        problem = EVAProblem(n_streams=n_streams, bandwidths_mbps=bw)
+        weights = (
+            [float(w) for w in args.weights.split(",")] if args.weights else None
+        )
+        pref = approx_preference(problem, weights=weights)
+        factory = (
+            RegistryFactory(args.method, pref, seed=args.seed)
+            if args.method
+            else None
+        )
+        try:
+            service = SchedulerService(
+                problem,
+                preference=pref,
+                scheduler_factory=factory,
+                epoch_s=args.epoch,
+                reoptimize_every=args.reoptimize_every,
+            )
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if log is None:
+            log = generate_load(
+                n_streams, n_servers, profile=_churn_profile(args), seed=args.seed
+            )
+
+    if args.checkpoint and (err := _check_writable(args.checkpoint)):
+        print(f"error: cannot write checkpoint: {err}", file=sys.stderr)
+        return 2
+    telemetry_path = getattr(args, "telemetry", "") or ""
+    if telemetry_path and (err := _check_writable(telemetry_path)):
+        print(f"error: cannot write telemetry log: {err}", file=sys.stderr)
+        return 2
+    if telemetry_path:
+        telemetry.enable(telemetry_path)
+    try:
+        try:
+            with telemetry.span("cli.serve"):
+                if not service.started:
+                    service.start()
+                if log is not None:
+                    service.submit(log)
+                service.run(
+                    max_epochs=args.max_epochs,
+                    checkpoint_path=args.checkpoint or None,
+                    checkpoint_every=args.checkpoint_every,
+                )
+        except InfeasibleScheduleError as exc:
+            print(f"error: schedule became infeasible: {exc}", file=sys.stderr)
+            return 1
+    finally:
+        if telemetry_path:
+            telemetry.emit_summary(command="serve.run", seed=args.seed)
+            telemetry.disable()
+
+    s = service.summary()
+    method = args.method if getattr(args, "method", "") else "greedy (engine)"
+    print(f"serve run: {s['epochs']} epochs, method {method}")
+    print(
+        f"  streams {s['n_streams']} (end)   alive servers {s['n_alive_servers']}"
+    )
+    print(
+        f"  full solves {s['full_solves']}   cache hits {s['cache_hits']}   "
+        f"re-solved {s['solved']}   rejects {s['rejected']}   "
+        f"evicted {s['evicted']}"
+    )
+    print(
+        f"  decision latency p50 {s['decision_p50_s'] * 1e3:.3f} ms   "
+        f"p95 {s['decision_p95_s'] * 1e3:.3f} ms   "
+        f"max {s['decision_max_s'] * 1e3:.3f} ms"
+    )
+    if s["benefit_last"] is not None:
+        print(
+            f"  benefit {s['benefit_first']:+.4f} (warm-up) -> "
+            f"{s['benefit_last']:+.4f} (final)"
+        )
+    if args.checkpoint:
+        print(f"  checkpoint written to {args.checkpoint}")
+    if telemetry_path:
+        print(f"telemetry events written to {telemetry_path}")
+        print(
+            f"inspect with: repro serve report {telemetry_path} "
+            f"(or repro report / repro trace)"
+        )
+    return 0
+
+
+def _cmd_serve_report(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.serve import summarize_serve_run
+
+    try:
+        summary = summarize_serve_run(args.log)
+    except OSError as exc:
+        print(f"error: cannot read {args.log}: {exc}", file=sys.stderr)
+        return 2
+    if summary.epochs == 0 and summary.decision_count == 0:
+        print(f"error: no serve events in {args.log}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(json.dumps(summary.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(summary.render())
+    if args.max_p95 is not None:
+        if not summary.gate(args.max_p95):
+            print(
+                f"FAIL: p95 decision latency {summary.decision_p95_s:.4f}s "
+                f"exceeds --max-p95 {args.max_p95:g}s "
+                f"(over {summary.decision_count} epochs)",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"p95 decision latency {summary.decision_p95_s:.4f}s within "
+            f"--max-p95 {args.max_p95:g}s"
+        )
+    return 0
+
+
+def _add_problem_args(p: argparse.ArgumentParser) -> None:
+    """Shared problem-topology flags (optimize, chaos, serve run)."""
+    p.add_argument("--streams", type=int, default=6)
+    p.add_argument("--servers", type=int, default=4)
+    p.add_argument(
+        "--bandwidths", type=str, default="", help="comma list of Mbps per server"
+    )
+    p.add_argument(
+        "--weights", type=str, default="", help="comma list: ltc,acc,net,com,eng"
+    )
+
+
+def _register_core(sub) -> None:
+    """Core commands: ``info`` and the batch ``optimize``."""
     p_info = sub.add_parser("info", help="package inventory")
     p_info.set_defaults(func=_cmd_info)
 
     p_opt = sub.add_parser("optimize", help="schedule streams onto servers")
-    p_opt.add_argument("--streams", type=int, default=6)
-    p_opt.add_argument("--servers", type=int, default=4)
-    p_opt.add_argument(
-        "--bandwidths", type=str, default="", help="comma list of Mbps per server"
-    )
-    p_opt.add_argument(
-        "--weights", type=str, default="", help="comma list: ltc,acc,net,com,eng"
-    )
+    _add_problem_args(p_opt)
     p_opt.add_argument(
         "--method",
         type=str,
@@ -710,6 +936,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_opt.set_defaults(func=_cmd_optimize)
 
+
+def _register_figures(sub) -> None:
+    """Paper-figure regeneration."""
     p_fig = sub.add_parser("figure", help="regenerate a paper figure")
     p_fig.add_argument("id", type=str, help="2|3|4|6|7|8|9|10a|10b")
     p_fig.add_argument("--quick", action="store_true", help="reduced sizes")
@@ -725,6 +954,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_fig.set_defaults(func=_cmd_figure)
 
+
+def _register_obs(sub) -> None:
+    """Observability commands: ``report``, ``compare``, ``trace``."""
     p_rep = sub.add_parser("report", help="summarize a telemetry JSONL log")
     p_rep.add_argument("log", type=str, help="telemetry JSONL file")
     p_rep.add_argument(
@@ -748,17 +980,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_cmp.set_defaults(func=_cmd_compare)
 
+    p_tr = sub.add_parser(
+        "trace", help="export a telemetry log to Chrome trace_event JSON"
+    )
+    p_tr.add_argument("log", type=str, help="telemetry JSONL file")
+    p_tr.add_argument(
+        "-o",
+        "--output",
+        type=str,
+        default="",
+        help="output path (default: <log>.trace.json)",
+    )
+    p_tr.set_defaults(func=_cmd_trace)
+
+
+def _register_resilience(sub) -> None:
+    """Fault-injection commands: ``chaos``."""
     p_chaos = sub.add_parser(
         "chaos", help="run a scheduler under a fault plan; compare to fault-free"
     )
-    p_chaos.add_argument("--streams", type=int, default=6)
-    p_chaos.add_argument("--servers", type=int, default=4)
-    p_chaos.add_argument(
-        "--bandwidths", type=str, default="", help="comma list of Mbps per server"
-    )
-    p_chaos.add_argument(
-        "--weights", type=str, default="", help="comma list: ltc,acc,net,com,eng"
-    )
+    _add_problem_args(p_chaos)
     p_chaos.add_argument(
         "--method", type=str, default="pamo", help="registered scheduler name"
     )
@@ -798,6 +1039,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_chaos.set_defaults(func=_cmd_chaos)
 
+
+def _register_bench(sub) -> None:
+    """Benchmark commands: ``bench``."""
     p_bench = sub.add_parser(
         "bench", help="time GP/BO hot-path fast/slow pairs; emit BENCH_<name>.json"
     )
@@ -835,18 +1079,159 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_bench.set_defaults(func=_cmd_bench)
 
-    p_tr = sub.add_parser(
-        "trace", help="export a telemetry log to Chrome trace_event JSON"
+
+def _add_churn_args(p: argparse.ArgumentParser) -> None:
+    """Shared load-generation flags (serve loadgen, serve run)."""
+    p.add_argument(
+        "--hours", type=float, default=1.0, help="simulated duration (default: 1)"
     )
-    p_tr.add_argument("log", type=str, help="telemetry JSONL file")
-    p_tr.add_argument(
+    p.add_argument(
+        "--arrivals-per-hour", type=float, default=100.0, metavar="RATE",
+        help="stream joins per simulated hour (default: 100)",
+    )
+    p.add_argument(
+        "--departures-per-hour", type=float, default=100.0, metavar="RATE",
+        help="stream leaves per simulated hour (default: 100)",
+    )
+    p.add_argument(
+        "--drifts-per-hour", type=float, default=10.0, metavar="RATE",
+        help="bandwidth drifts per simulated hour (default: 10)",
+    )
+    p.add_argument(
+        "--flaps-per-hour", type=float, default=2.0, metavar="RATE",
+        help="server down/up flaps per simulated hour (default: 2)",
+    )
+
+
+def _register_serve(sub) -> None:
+    """Online serving commands: ``serve {run,loadgen,report}``."""
+    p_serve = sub.add_parser(
+        "serve", help="event-driven online scheduler service"
+    )
+    serve_sub = p_serve.add_subparsers(dest="serve_command", required=True)
+
+    p_run = serve_sub.add_parser(
+        "run", help="replay a churn event log through the scheduler service"
+    )
+    _add_problem_args(p_run)
+    _add_churn_args(p_run)
+    p_run.add_argument(
+        "--events",
+        type=str,
+        default="",
+        metavar="PATH",
+        help="event log JSON from `serve loadgen` (else generate from the "
+        "churn flags); its topology overrides --streams/--servers",
+    )
+    p_run.add_argument(
+        "--method",
+        type=str,
+        default="",
+        metavar="NAME",
+        help="batch scheduler for warm-up/drift full solves (registered "
+        "name; default: the engine's greedy admission)",
+    )
+    p_run.add_argument(
+        "--epoch", type=float, default=1.0, metavar="SECONDS",
+        help="epoch clock granularity (default: 1.0)",
+    )
+    p_run.add_argument(
+        "--reoptimize-every", type=int, default=0, metavar="N",
+        help="force a full solve every N epochs (default: 0 = incremental only)",
+    )
+    p_run.add_argument(
+        "--max-epochs", type=int, default=None, metavar="N",
+        help="stop after N event epochs (default: drain the whole log)",
+    )
+    p_run.add_argument("--seed", type=int, default=0)
+    p_run.add_argument(
+        "--telemetry",
+        type=str,
+        default="",
+        metavar="PATH",
+        help="write a JSONL telemetry event log (serve.* events + spans)",
+    )
+    p_run.add_argument(
+        "--checkpoint",
+        type=str,
+        default="",
+        metavar="PATH",
+        help="pickle the service here every --checkpoint-every epochs",
+    )
+    p_run.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=0,
+        metavar="N",
+        help="epochs between checkpoints (with --checkpoint; default 0 = "
+        "only at the end of the run)",
+    )
+    p_run.add_argument(
+        "--resume",
+        type=str,
+        default="",
+        metavar="CKPT",
+        help="resume a serve run from a checkpoint (ignores problem flags; "
+        "--events adds more churn)",
+    )
+    p_run.set_defaults(func=_cmd_serve_run)
+
+    p_gen = serve_sub.add_parser(
+        "loadgen", help="generate a seeded churn event log"
+    )
+    p_gen.add_argument("--streams", type=int, default=6)
+    p_gen.add_argument("--servers", type=int, default=4)
+    _add_churn_args(p_gen)
+    p_gen.add_argument("--seed", type=int, default=0)
+    p_gen.add_argument(
         "-o",
         "--output",
         type=str,
-        default="",
-        help="output path (default: <log>.trace.json)",
+        default="events.json",
+        metavar="PATH",
+        help="event log destination (default: events.json)",
     )
-    p_tr.set_defaults(func=_cmd_trace)
+    p_gen.set_defaults(func=_cmd_serve_loadgen)
+
+    p_rep = serve_sub.add_parser(
+        "report", help="summarize a serve run's telemetry log"
+    )
+    p_rep.add_argument("log", type=str, help="telemetry JSONL from `serve run`")
+    p_rep.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    p_rep.add_argument(
+        "--max-p95",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="fail (exit 1) if p95 decision latency exceeds this budget",
+    )
+    p_rep.set_defaults(func=_cmd_serve_report)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse tree for ``python -m repro``.
+
+    Each subsystem contributes its commands through a ``_register_*``
+    function; adding a command family means adding one registration
+    call here, not editing a monolithic block.
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PaMO reproduction: preference-aware EVA scheduling",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+    _register_core(sub)
+    _register_figures(sub)
+    _register_obs(sub)
+    _register_resilience(sub)
+    _register_bench(sub)
+    _register_serve(sub)
     return parser
 
 

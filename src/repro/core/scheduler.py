@@ -3,11 +3,17 @@
 Every optimizer in this repo — PaMO, PaMO+, and the §5.1 baselines —
 satisfies the same structural contract: construct with the problem (and
 keyword configuration), call :meth:`Scheduler.optimize`, get an
-:class:`~repro.core.result.OptimizationOutcome` back.  The
-:class:`Scheduler` protocol names that contract so dispatch code (the
-CLI, the bench harness, :func:`repro.baselines.registry.make_scheduler`)
-can be written against the interface instead of a hand-rolled if/elif
-ladder.
+:class:`~repro.core.result.OptimizationOutcome` back, and call
+:meth:`Scheduler.replan` when the topology changed under a live run.
+The :class:`Scheduler` protocol names that contract so dispatch code
+(the CLI, the bench harness, the serve loop,
+:func:`repro.baselines.registry.make_scheduler`) can be written against
+the interface instead of a hand-rolled if/elif ladder.
+
+``replan`` has a default full-resolve implementation on
+:class:`SchedulerMixin` (rebind the problem, optimize from scratch);
+schedulers that can do better override it — PaMO warm-starts from its
+surviving observation history (:meth:`repro.core.pamo.PaMO.replan`).
 """
 
 from __future__ import annotations
@@ -15,6 +21,7 @@ from __future__ import annotations
 from typing import Protocol, runtime_checkable
 
 from repro.core.result import OptimizationOutcome
+from repro.obs import telemetry
 
 __all__ = ["Scheduler", "SchedulerMixin"]
 
@@ -36,9 +43,13 @@ class Scheduler(Protocol):
         """Solve the scheduling problem and return the full run record."""
         ...
 
+    def replan(self, new_problem, *, reason: str = "") -> OptimizationOutcome:
+        """Re-solve after a topology change (server loss, stream churn)."""
+        ...
+
 
 class SchedulerMixin:
-    """Shared ``name`` plumbing for concrete schedulers.
+    """Shared ``name``/``replan`` plumbing for concrete schedulers.
 
     Concrete classes declare ``method_name`` (the historical attribute,
     kept for compatibility); ``name`` is the protocol-facing alias.
@@ -49,3 +60,30 @@ class SchedulerMixin:
     @property
     def name(self) -> str:
         return self.method_name
+
+    def replan(self, new_problem, *, reason: str = "") -> OptimizationOutcome:
+        """Default full-resolve replan: rebind the problem, re-optimize.
+
+        Every scheduler in this repo reads ``self.problem`` afresh on
+        each :meth:`optimize` call, so rebinding is all a from-scratch
+        replan needs.  Stateful optimizers override this to carry
+        whatever survives the topology change (see PaMO).
+        """
+        old_problem = getattr(self, "problem", None)
+        self.problem = new_problem
+        telemetry.counter("sched.replans")
+        telemetry.event(
+            "sched.replan",
+            method=self.name,
+            reason=reason,
+            warm=False,
+            n_servers_before=(
+                None if old_problem is None else int(old_problem.n_servers)
+            ),
+            n_servers_after=int(new_problem.n_servers),
+            n_streams_before=(
+                None if old_problem is None else int(old_problem.n_streams)
+            ),
+            n_streams_after=int(new_problem.n_streams),
+        )
+        return self.optimize()

@@ -1,0 +1,52 @@
+"""``repro.serve`` — the event-driven online scheduler service.
+
+Turns the repo's one-shot batch optimization into a long-lived
+scheduler process: :class:`~repro.serve.service.SchedulerService`
+consumes :class:`~repro.serve.events.ServeEvent` churn (stream
+join/leave, bandwidth drift, server membership, drift alarms) on an
+epoch clock, maintains the live schedule incrementally through
+:class:`~repro.serve.engine.IncrementalPlanner`, and proves the
+incremental path with ``serve.*`` telemetry counters.
+:func:`~repro.serve.loadgen.generate_load` drives seeded churn at
+thousands of events per simulated hour, and
+:func:`~repro.serve.report.summarize_serve_run` turns the resulting
+trace into decision-latency percentiles for the ``repro serve report``
+CLI and the ``serve-smoke`` CI gate.
+"""
+
+from repro.serve.engine import IncrementalPlanner, approx_preference
+from repro.serve.events import (
+    SERVE_EVENT_KINDS,
+    EventLog,
+    EventQueue,
+    ServeEvent,
+    from_fault,
+)
+from repro.serve.greedy import GreedyScheduler
+from repro.serve.loadgen import ChurnProfile, generate_load
+from repro.serve.report import ServeSummary, summarize_serve_run
+from repro.serve.service import (
+    RegistryFactory,
+    SchedulerService,
+    ServeDecision,
+    ServeEpochTick,
+)
+
+__all__ = [
+    "SERVE_EVENT_KINDS",
+    "ChurnProfile",
+    "EventLog",
+    "EventQueue",
+    "GreedyScheduler",
+    "IncrementalPlanner",
+    "RegistryFactory",
+    "SchedulerService",
+    "ServeDecision",
+    "ServeEpochTick",
+    "ServeEvent",
+    "ServeSummary",
+    "approx_preference",
+    "from_fault",
+    "generate_load",
+    "summarize_serve_run",
+]

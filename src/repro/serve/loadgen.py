@@ -1,0 +1,150 @@
+"""Deterministic seeded churn workload generator.
+
+:func:`generate_load` draws a Poisson-arrival churn timeline — stream
+joins/leaves, per-server bandwidth drift, and server flaps — and
+resolves it into a valid :class:`~repro.serve.events.EventLog`: leaves
+only name streams that are actually active at that instant, at most one
+server is down at a time, and the population never dips below
+``min_active``.  The same ``seed`` always yields the same byte-exact
+log (NumPy ``default_rng``, fixed draw order), which together with the
+service's deterministic replay gives bit-identical decision sequences.
+
+Rates are per *simulated* hour: ``ChurnProfile(arrivals_per_hour=2000,
+departures_per_hour=2000)`` drives thousands of admissions/evictions
+through the serve loop in one run, which is the scale knob of the
+acceptance churn experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.serve.events import EventLog, ServeEvent
+
+__all__ = ["ChurnProfile", "generate_load"]
+
+
+@dataclass(frozen=True)
+class ChurnProfile:
+    """Shape of a churn workload (all rates per simulated hour)."""
+
+    hours: float = 1.0
+    arrivals_per_hour: float = 100.0
+    departures_per_hour: float = 100.0
+    drifts_per_hour: float = 10.0
+    flaps_per_hour: float = 2.0
+    texture_range: tuple[float, float] = (0.6, 1.4)
+    bw_factor_range: tuple[float, float] = (0.3, 1.0)
+    min_active: int = 1
+    flap_outage_s: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.hours <= 0:
+            raise ValueError(f"hours must be > 0, got {self.hours}")
+        for name in (
+            "arrivals_per_hour",
+            "departures_per_hour",
+            "drifts_per_hour",
+            "flaps_per_hour",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+        if self.min_active < 0:
+            raise ValueError(f"min_active must be >= 0, got {self.min_active}")
+        lo, hi = self.texture_range
+        if not (0 < lo <= hi):
+            raise ValueError(f"bad texture_range {self.texture_range}")
+        lo, hi = self.bw_factor_range
+        if not (0 < lo <= hi <= 1):
+            raise ValueError(f"bad bw_factor_range {self.bw_factor_range}")
+
+
+def generate_load(
+    n_streams: int,
+    n_servers: int,
+    *,
+    profile: ChurnProfile | None = None,
+    seed: int = 0,
+) -> EventLog:
+    """Draw a churn event log for an ``n_streams``/``n_servers`` topology.
+
+    The initial population (ids ``0..n_streams-1``) is assumed admitted
+    by the service's warm-up; generated joins allocate fresh ids above
+    it.  Draw order is fixed (counts, then times, then a single ordered
+    walk assigning targets), so a given ``(topology, profile, seed)``
+    triple is fully reproducible.
+    """
+    if n_streams < 1:
+        raise ValueError(f"n_streams must be >= 1, got {n_streams}")
+    if n_servers < 1:
+        raise ValueError(f"n_servers must be >= 1, got {n_servers}")
+    profile = profile or ChurnProfile()
+    rng = np.random.default_rng(seed)
+    horizon = profile.hours * 3600.0
+
+    def times(rate_per_hour: float) -> np.ndarray:
+        n = rng.poisson(rate_per_hour * profile.hours)
+        return np.sort(rng.uniform(0.0, horizon, size=n))
+
+    slots = (
+        [(t, "stream_join") for t in times(profile.arrivals_per_hour)]
+        + [(t, "stream_leave") for t in times(profile.departures_per_hour)]
+        + [(t, "bandwidth_drift") for t in times(profile.drifts_per_hour)]
+        + [(t, "flap") for t in times(profile.flaps_per_hour)]
+    )
+    slots.sort(key=lambda ts: ts[0])
+
+    active = list(range(n_streams))
+    next_id = n_streams
+    down_server: int | None = None
+    down_until = -1.0
+    events: list[ServeEvent] = []
+    tex_lo, tex_hi = profile.texture_range
+    bw_lo, bw_hi = profile.bw_factor_range
+    for t, kind in slots:
+        if down_server is not None and t >= down_until:
+            events.append(ServeEvent(time=down_until, kind="server_up", target=down_server))
+            down_server = None
+        if kind == "stream_leave" and len(active) <= profile.min_active:
+            kind = "stream_join"  # preserve the population floor
+        if kind == "stream_join":
+            sid = next_id
+            next_id += 1
+            active.append(sid)
+            events.append(
+                ServeEvent(
+                    time=t,
+                    kind="stream_join",
+                    target=sid,
+                    value=float(rng.uniform(tex_lo, tex_hi)),
+                )
+            )
+        elif kind == "stream_leave":
+            sid = active.pop(int(rng.integers(len(active))))
+            events.append(ServeEvent(time=t, kind="stream_leave", target=sid))
+        elif kind == "bandwidth_drift":
+            events.append(
+                ServeEvent(
+                    time=t,
+                    kind="bandwidth_drift",
+                    target=int(rng.integers(n_servers)),
+                    value=float(rng.uniform(bw_lo, bw_hi)),
+                )
+            )
+        else:  # flap: one server down at a time, bounded outage
+            if down_server is not None or n_servers < 2:
+                continue
+            down_server = int(rng.integers(n_servers))
+            down_until = min(t + profile.flap_outage_s, horizon)
+            events.append(ServeEvent(time=t, kind="server_down", target=down_server))
+    if down_server is not None:
+        events.append(ServeEvent(time=down_until, kind="server_up", target=down_server))
+    return EventLog(
+        events=tuple(events),
+        seed=seed,
+        n_streams=n_streams,
+        n_servers=n_servers,
+        horizon_s=horizon,
+    )

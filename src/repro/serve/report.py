@@ -1,0 +1,183 @@
+"""Serve-run reporting: decision-latency percentiles from a trace log.
+
+A serve run records everything through :mod:`repro.obs` — one
+``serve.decision`` span (and one ``serve.decision`` event) per epoch,
+the ``serve.*`` counters inside the final ``run.summary`` — so the
+generic ``repro report``/``repro trace`` work unchanged.  This module
+adds the serve-specific view: :func:`summarize_serve_run` parses the
+JSONL into a :class:`ServeSummary` with exact decision-latency
+percentiles (computed over *all* per-epoch span events, not the bounded
+reservoir), the counter proof of the incremental path
+(``full_solves``/``cache_hits``), and the benefit trajectory.  The p95
+budget gate of the ``serve-smoke`` CI job is :meth:`ServeSummary.gate`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = ["ServeSummary", "summarize_serve_run"]
+
+#: Leaf span name of the per-epoch decision timer (matched on the span's
+#: ``name``, not its slash-joined path — serve runs nest it under the
+#: CLI's ``cli.serve`` root span).
+DECISION_SPAN = "serve.decision"
+
+
+def _percentile(ordered: list[float], q: float) -> float:
+    """Linear-interpolation percentile of a pre-sorted list."""
+    if not ordered:
+        return 0.0
+    pos = q * (len(ordered) - 1)
+    lo = int(pos)
+    hi = min(lo + 1, len(ordered) - 1)
+    return ordered[lo] * (1 - (pos - lo)) + ordered[hi] * (pos - lo)
+
+
+@dataclass
+class ServeSummary:
+    """Aggregated view of one serve run's event log."""
+
+    path: str = ""
+    trace_id: str | None = None
+    epochs: int = 0
+    events: int = 0
+    full_solves: int = 0
+    cache_hits: int = 0
+    solved: int = 0
+    admission_rejects: int = 0
+    repairs: int = 0
+    decision_count: int = 0
+    decision_p50_s: float = 0.0
+    decision_p95_s: float = 0.0
+    decision_max_s: float = 0.0
+    decision_mean_s: float = 0.0
+    benefit_first: float | None = None
+    benefit_last: float | None = None
+    n_streams_last: int = 0
+    counters: dict = field(default_factory=dict)
+
+    @property
+    def cache_hit_ratio(self) -> float:
+        """Cached decisions / (cached + re-solved); 0 when nothing ran."""
+        total = self.cache_hits + self.solved
+        return self.cache_hits / total if total else 0.0
+
+    def gate(self, max_p95_s: float) -> bool:
+        """True when the p95 decision latency is within budget."""
+        return self.decision_count > 0 and self.decision_p95_s <= max_p95_s
+
+    def to_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "trace_id": self.trace_id,
+            "epochs": self.epochs,
+            "events": self.events,
+            "full_solves": self.full_solves,
+            "cache_hits": self.cache_hits,
+            "solved": self.solved,
+            "cache_hit_ratio": self.cache_hit_ratio,
+            "admission_rejects": self.admission_rejects,
+            "repairs": self.repairs,
+            "decision_count": self.decision_count,
+            "decision_p50_s": self.decision_p50_s,
+            "decision_p95_s": self.decision_p95_s,
+            "decision_max_s": self.decision_max_s,
+            "decision_mean_s": self.decision_mean_s,
+            "benefit_first": self.benefit_first,
+            "benefit_last": self.benefit_last,
+            "n_streams_last": self.n_streams_last,
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"serve run: {self.path}",
+            f"  trace_id          {self.trace_id or '-'}",
+            f"  epochs            {self.epochs}",
+            f"  events            {self.events}",
+            f"  full solves       {self.full_solves}",
+            f"  cache hits        {self.cache_hits}"
+            f"  (hit ratio {self.cache_hit_ratio:.1%})",
+            f"  re-solved streams {self.solved}",
+            f"  admission rejects {self.admission_rejects}",
+            f"  repairs           {self.repairs}",
+            f"  decision latency  p50 {self.decision_p50_s * 1e3:.3f} ms"
+            f" · p95 {self.decision_p95_s * 1e3:.3f} ms"
+            f" · max {self.decision_max_s * 1e3:.3f} ms"
+            f" ({self.decision_count} epochs)",
+        ]
+        if self.benefit_first is not None:
+            lines.append(
+                f"  benefit           {self.benefit_first:+.4f} (first)"
+                f" -> {self.benefit_last:+.4f} (last)"
+                f" · {self.n_streams_last} streams at end"
+            )
+        return "\n".join(lines)
+
+
+def summarize_serve_run(path) -> ServeSummary:
+    """Parse a serve run's JSONL trace into a :class:`ServeSummary`.
+
+    Tolerant of partial logs (crashed runs): percentiles come from the
+    per-epoch span events, counters prefer the final ``run.summary``
+    but fall back to summing the per-epoch decision events.
+    """
+    path = Path(path)
+    summary = ServeSummary(path=str(path))
+    durations: list[float] = []
+    benefits: list[float] = []
+    epoch_full_solves = epoch_cache_hits = epoch_solved = 0
+    epoch_rejects = epoch_events = 0
+    run_counters: dict | None = None
+    with path.open() as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            kind = rec.get("event")
+            if kind == "trace.start" and summary.trace_id is None:
+                summary.trace_id = rec.get("trace_id")
+            elif kind == "span" and rec.get("name") == DECISION_SPAN:
+                durations.append(float(rec.get("duration_s", 0.0)))
+            elif kind == "serve.decision":
+                summary.epochs += 1
+                epoch_events += len(rec.get("events", ()))
+                epoch_full_solves += bool(rec.get("full_solve"))
+                epoch_cache_hits += int(rec.get("cache_hits", 0))
+                epoch_solved += int(rec.get("solved", 0))
+                epoch_rejects += len(rec.get("rejected", ()))
+                if rec.get("benefit") is not None:
+                    benefits.append(float(rec["benefit"]))
+                summary.n_streams_last = int(
+                    rec.get("n_streams", summary.n_streams_last)
+                )
+            elif kind == "run.summary":
+                run_counters = rec.get("report", {}).get("counters", {})
+    counters = run_counters if run_counters is not None else {}
+    summary.counters = counters
+    summary.events = int(counters.get("serve.events", epoch_events))
+    summary.full_solves = int(counters.get("serve.full_solves", epoch_full_solves))
+    summary.cache_hits = int(counters.get("serve.cache_hits", epoch_cache_hits))
+    summary.solved = int(counters.get("serve.solved", epoch_solved))
+    summary.admission_rejects = int(
+        counters.get("serve.admission_rejects", epoch_rejects)
+    )
+    summary.repairs = int(counters.get("serve.repairs", 0))
+    durations.sort()
+    summary.decision_count = len(durations)
+    summary.decision_p50_s = _percentile(durations, 0.50)
+    summary.decision_p95_s = _percentile(durations, 0.95)
+    summary.decision_max_s = durations[-1] if durations else 0.0
+    summary.decision_mean_s = (
+        sum(durations) / len(durations) if durations else 0.0
+    )
+    if benefits:
+        summary.benefit_first = benefits[0]
+        summary.benefit_last = benefits[-1]
+    return summary

@@ -1,0 +1,636 @@
+"""The long-lived scheduler service: epoch clock, event loop, decisions.
+
+:class:`SchedulerService` turns "a scheduler run" into "a scheduler
+process".  It holds the live schedule in an
+:class:`~repro.serve.engine.IncrementalPlanner`, consumes
+:class:`~repro.serve.events.ServeEvent` batches grouped by an epoch
+clock, and emits one :class:`ServeDecision` per epoch:
+
+* **warm-up** (epoch 0) is the only full solve on the happy path: a
+  batch scheduler's :meth:`~repro.core.scheduler.Scheduler.optimize`
+  (or the engine's greedy admission) seeds the per-stream decision
+  cache;
+* **steady state** replans incrementally — each event touches only the
+  streams it names, every untouched stream's cached config is reused
+  (``serve.cache_hits``), and the decision latency is the engine's own
+  delta cost, measured per epoch under the ``serve.decision`` span;
+* **full solves** after warm-up happen only on explicit ``drift``
+  events or a ``reoptimize_every`` schedule, via the scheduler's
+  :meth:`~repro.core.scheduler.Scheduler.replan` (PaMO warm-starts).
+
+Counters: ``serve.replans`` (epoch decisions), ``serve.full_solves``,
+``serve.cache_hits``, ``serve.events``, ``serve.solved``,
+``serve.repairs``, ``serve.evictions``, ``serve.admission_rejects``.
+
+The service pickles whole (planner, queue, scheduler, counters), so
+:func:`repro.resilience.checkpoint.save_checkpoint` gives mid-run
+checkpoint/resume with a bit-identical continuation — the determinism
+tests replay the same event log straight and split across a resume and
+require identical decision signatures.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+import numpy as np
+
+from repro.core.problem import EVAProblem
+from repro.core.result import ScheduleDecision
+from repro.obs import telemetry
+from repro.pref.decision_maker import LinearL1Preference
+from repro.sched.grouping import InfeasibleScheduleError
+from repro.serve.engine import IncrementalPlanner
+from repro.serve.events import EventQueue, ServeEvent
+
+__all__ = [
+    "SchedulerService",
+    "ServeDecision",
+    "ServeEpochTick",
+    "RegistryFactory",
+]
+
+
+@dataclass
+class ServeDecision:
+    """One epoch's scheduling decision and its bookkeeping.
+
+    ``signature()`` is the determinism fingerprint: everything that
+    must replay bit-identically (configs, placement, outcome, benefit)
+    and nothing that legitimately varies (wall-clock latency).
+    """
+
+    epoch: int
+    time: float
+    events: list[str]
+    stream_ids: list[int]
+    resolutions: np.ndarray
+    fps: np.ndarray
+    assignment: dict[int, tuple[int, ...]]
+    outcome: np.ndarray | None
+    benefit: float | None
+    full_solve: bool
+    cache_hits: int
+    solved: int
+    rejected: list[int]
+    evicted: list[int]
+    latency_s: float = 0.0
+
+    def signature(self) -> tuple:
+        """Bit-exact replay fingerprint (excludes wall-clock latency)."""
+        return (
+            self.epoch,
+            tuple(self.events),
+            tuple(self.stream_ids),
+            tuple(float(v) for v in self.resolutions),
+            tuple(float(v) for v in self.fps),
+            tuple(sorted(self.assignment.items())),
+            None if self.outcome is None else tuple(float(v) for v in self.outcome),
+            None if self.benefit is None else float(self.benefit),
+            self.full_solve,
+            self.cache_hits,
+            self.solved,
+            tuple(self.rejected),
+            tuple(self.evicted),
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "epoch": int(self.epoch),
+            "time": float(self.time),
+            "events": list(self.events),
+            "n_streams": len(self.stream_ids),
+            "stream_ids": [int(s) for s in self.stream_ids],
+            "resolutions": [float(v) for v in self.resolutions],
+            "fps": [float(v) for v in self.fps],
+            "assignment": {
+                str(k): [int(q) for q in v] for k, v in self.assignment.items()
+            },
+            "outcome": None if self.outcome is None else [
+                float(v) for v in self.outcome
+            ],
+            "benefit": None if self.benefit is None else float(self.benefit),
+            "full_solve": bool(self.full_solve),
+            "cache_hits": int(self.cache_hits),
+            "solved": int(self.solved),
+            "rejected": [int(s) for s in self.rejected],
+            "evicted": [int(s) for s in self.evicted],
+            "latency_s": float(self.latency_s),
+        }
+
+
+@dataclass
+class ServeEpochTick:
+    """One monitoring epoch of :meth:`SchedulerService.run_epochs`.
+
+    Field-compatible with :class:`repro.core.online.EpochRecord` so the
+    legacy ``OnlineScheduler`` shim converts trivially.
+    """
+
+    epoch: int
+    expected: np.ndarray
+    observed: np.ndarray
+    deviation: float
+    reoptimized: bool
+
+
+class RegistryFactory:
+    """Picklable ``factory(problem, epoch) -> Scheduler`` over the registry.
+
+    The serve checkpoint pickles the whole service, factory included,
+    so CLI runs use this named class instead of a closure.
+    """
+
+    def __init__(self, method: str, preference, seed: int = 0, **kwargs) -> None:
+        self.method = method
+        self.preference = preference
+        self.seed = seed
+        self.kwargs = dict(kwargs)
+
+    def __call__(self, problem: EVAProblem, epoch: int = 0):
+        from repro.baselines import make_scheduler
+
+        return make_scheduler(
+            self.method,
+            problem,
+            preference=self.preference,
+            rng=self.seed + epoch,
+            **self.kwargs,
+        )
+
+
+class SchedulerService:
+    """Event-driven online scheduler (see module docstring).
+
+    Parameters
+    ----------
+    problem:
+        Initial topology: its streams are the warm-up population, its
+        servers/knobs/outcome functions the substrate for the whole run.
+    preference:
+        System benefit function scoring every epoch decision.
+    scheduler_factory:
+        Optional ``factory(problem, epoch) -> Scheduler`` for full
+        solves (warm-up and drift).  ``None`` uses the engine's greedy
+        admission as the full solve — the fast path for large fleets.
+    epoch_s:
+        Epoch clock granularity; same-epoch events batch into one
+        decision.
+    reoptimize_every:
+        Force a full solve every N epochs (0 = never; incremental only).
+    reuse_scheduler:
+        Keep one scheduler across full solves and :meth:`~repro.core.
+        scheduler.Scheduler.replan` it (warm starts).  ``False``
+        re-instantiates per solve — the legacy ``OnlineScheduler``
+        contract.
+    """
+
+    def __init__(
+        self,
+        problem: EVAProblem,
+        *,
+        preference: LinearL1Preference,
+        scheduler_factory: Callable[..., object] | None = None,
+        epoch_s: float = 1.0,
+        reoptimize_every: int = 0,
+        reuse_scheduler: bool = True,
+    ) -> None:
+        if epoch_s <= 0:
+            raise ValueError(f"epoch_s must be > 0, got {epoch_s}")
+        if reoptimize_every < 0:
+            raise ValueError(
+                f"reoptimize_every must be >= 0, got {reoptimize_every}"
+            )
+        self.problem = problem
+        self.preference = preference
+        self.scheduler_factory = scheduler_factory
+        self.epoch_s = float(epoch_s)
+        self.reoptimize_every = int(reoptimize_every)
+        self.reuse_scheduler = bool(reuse_scheduler)
+        self.scheduler = None
+        self.planner = IncrementalPlanner.for_problem(problem, preference=preference)
+        self.queue = EventQueue()
+        self.decisions: list[ServeDecision] = []
+        self.textures: dict[int, float] = {
+            i: float(problem.textures[i]) for i in range(problem.n_streams)
+        }
+        self._next_sid = problem.n_streams
+        self.epoch = 0
+        self.started = False
+        self.last_decision: ScheduleDecision | None = None
+        # Becomes True once churn events mutate the topology, after
+        # which full solves rebuild the problem from live state instead
+        # of reusing the constructor's problem object.
+        self._topology_dirty = False
+
+    # -- topology ----------------------------------------------------------
+    def current_problem(self) -> EVAProblem | None:
+        """Degraded problem over active streams and alive servers.
+
+        ``None`` when nothing survives (no stream or no server) — the
+        same contract as :func:`repro.resilience.chaos.degraded_problem`.
+        """
+        bw = self.planner.effective_bw()
+        sids = sorted(self.textures)
+        if bw.size == 0 or not sids:
+            return None
+        return EVAProblem(
+            n_streams=len(sids),
+            bandwidths_mbps=bw,
+            config_space=self.problem.config_space,
+            textures=[self.textures[s] for s in sids],
+            profile=self.problem.profile,
+            encoder=self.problem.encoder,
+            outcomes=self.problem.outcomes,
+        )
+
+    def epoch_of(self, t: float) -> int:
+        """Epoch index for an event time (epoch 0 is the warm-up)."""
+        return int(t / self.epoch_s + 1e-9) + 1
+
+    # -- lifecycle ---------------------------------------------------------
+    def start(self) -> ServeDecision:
+        """Warm-up full solve over the initial stream population."""
+        if self.started:
+            raise RuntimeError("service already started")
+        self.started = True
+        t0 = time.perf_counter()
+        with telemetry.span("serve.decision"):
+            stats = self._full_solve(reason="warmup", epoch=0)
+            decision = self._emit_decision(
+                epoch=0,
+                t=0.0,
+                events=[],
+                full_solve=True,
+                solved=len(self.planner.entries),
+                cache_hits=0,
+                rejected=stats.get("rejected", []),
+                evicted=stats.get("evicted", []),
+                latency_s=time.perf_counter() - t0,
+            )
+        return decision
+
+    def submit(self, events: Iterable[ServeEvent]) -> int:
+        """Queue events for :meth:`run`; returns how many were queued."""
+        n = 0
+        for e in events:
+            self.queue.push(e)
+            n += 1
+        return n
+
+    def run(
+        self,
+        *,
+        max_epochs: int | None = None,
+        checkpoint_path=None,
+        checkpoint_every: int = 0,
+    ) -> list[ServeDecision]:
+        """Drain the event queue epoch by epoch; returns new decisions.
+
+        ``max_epochs`` bounds this call (the queue keeps the rest —
+        how the mid-run checkpoint tests split a run).  With
+        ``checkpoint_path`` the whole service pickles every
+        ``checkpoint_every`` epochs (and at the end of the call).
+        """
+        if not self.started:
+            self.start()
+        made: list[ServeDecision] = []
+        while self.queue and (max_epochs is None or len(made) < max_epochs):
+            first = self.queue.peek()
+            epoch = self.epoch_of(first.time)
+            batch = [self.queue.pop()]
+            while self.queue and self.epoch_of(self.queue.peek().time) == epoch:
+                batch.append(self.queue.pop())
+            made.append(self.process_epoch(epoch, batch))
+            if (
+                checkpoint_path
+                and checkpoint_every > 0
+                and len(made) % checkpoint_every == 0
+            ):
+                self.save_checkpoint(checkpoint_path)
+        if checkpoint_path and made:
+            self.save_checkpoint(checkpoint_path)
+        return made
+
+    # -- the per-epoch decision -------------------------------------------
+    def process_epoch(self, epoch: int, batch: list[ServeEvent]) -> ServeDecision:
+        """Apply one epoch's events and produce its decision."""
+        self.epoch = epoch
+        t = batch[-1].time if batch else epoch * self.epoch_s
+        t0 = time.perf_counter()
+        with telemetry.span("serve.decision"):
+            touched: set[int] = set()
+            solved = 0
+            rejected: list[int] = []
+            evicted: list[int] = []
+            want_full = False
+            if any(ev.kind != "drift" for ev in batch):
+                self._topology_dirty = True
+            for ev in batch:
+                if ev.kind == "stream_join":
+                    sid = ev.target if ev.target >= 0 else self._next_sid
+                    if sid in self.planner.entries:
+                        sid = self._next_sid
+                    self._next_sid = max(self._next_sid, sid + 1)
+                    texture = float(ev.value) if ev.value is not None else 1.0
+                    self.textures[sid] = texture
+                    touched.add(sid)
+                    if self.planner.admit(sid, texture) is None:
+                        del self.textures[sid]
+                        rejected.append(sid)
+                        telemetry.counter("serve.admission_rejects")
+                    else:
+                        solved += 1
+                elif ev.kind == "stream_leave":
+                    if self.planner.remove_stream(ev.target):
+                        self.textures.pop(ev.target, None)
+                        touched.add(ev.target)
+                elif ev.kind == "bandwidth_drift":
+                    if 0 <= ev.target < self.planner.n_servers:
+                        self.planner.set_bandwidth_factor(
+                            ev.target, float(ev.value)
+                        )
+                elif ev.kind == "server_down":
+                    stats = self.planner.server_down(ev.target)
+                    repaired = stats["migrated"] + stats["degraded"]
+                    solved += stats["degraded"]
+                    touched.update(stats["evicted"])
+                    for sid in stats["evicted"]:
+                        self.textures.pop(sid, None)
+                    evicted.extend(stats["evicted"])
+                    if repaired:
+                        telemetry.counter("serve.repairs", repaired)
+                elif ev.kind == "server_up":
+                    self.planner.server_up(ev.target)
+                elif ev.kind == "drift":
+                    want_full = True
+            if self.reoptimize_every and epoch % self.reoptimize_every == 0:
+                want_full = True
+            full_stats: dict = {}
+            if want_full:
+                full_stats = self._full_solve(reason="drift", epoch=epoch)
+                solved = len(self.planner.entries)
+                touched.update(self.planner.entries)
+            cache_hits = max(0, len(self.planner.entries) - len(
+                touched & set(self.planner.entries)
+            )) if not want_full else 0
+            decision = self._emit_decision(
+                epoch=epoch,
+                t=t,
+                events=[self._event_label(e) for e in batch],
+                full_solve=want_full,
+                solved=solved,
+                cache_hits=cache_hits,
+                rejected=rejected + full_stats.get("rejected", []),
+                evicted=evicted + full_stats.get("evicted", []),
+                latency_s=time.perf_counter() - t0,
+            )
+        telemetry.counter("serve.events", len(batch))
+        return decision
+
+    @staticmethod
+    def _event_label(e: ServeEvent) -> str:
+        label = f"{e.kind}:{e.target}"
+        if e.value is not None:
+            label += f"x{e.value:g}"
+        return label
+
+    def _deploy_batch(self, *, reason: str, epoch: int) -> dict | None:
+        """Solve the full problem and deploy; no engine re-embedding.
+
+        Returns engine stats on the factory-less path (the greedy solve
+        IS the engine state); ``None`` on the batch-scheduler path,
+        where only ``last_decision`` is updated.
+        """
+        telemetry.counter("serve.full_solves")
+        if self.scheduler_factory is None:
+            stats = self.planner.solve_all(dict(self.textures))
+            for sid in stats.get("rejected", []):
+                self.textures.pop(sid, None)
+            self.last_decision = None
+            return stats
+        prob = self.current_problem() if self._topology_dirty else self.problem
+        if prob is None:
+            raise InfeasibleScheduleError(
+                "no surviving stream/server to solve for"
+            )
+        if self.scheduler is None or not self.reuse_scheduler:
+            self.scheduler = self.scheduler_factory(prob, epoch)
+            out = self.scheduler.optimize()
+        else:
+            out = self.scheduler.replan(prob, reason=reason)
+        self.last_decision = out.decision
+        return None
+
+    def _full_solve(self, *, reason: str, epoch: int) -> dict:
+        """Re-solve and re-embed into the engine (event-loop full solve)."""
+        stats = self._deploy_batch(reason=reason, epoch=epoch)
+        if stats is not None:
+            return stats
+        decision = self.last_decision
+        sids = sorted(self.textures)
+        configs = {
+            sid: (float(decision.resolutions[i]), float(decision.fps[i]))
+            for i, sid in enumerate(sids)
+        }
+        stats = self.planner.rebuild(configs, self.textures)
+        for sid in stats.get("evicted", []):
+            self.textures.pop(sid, None)
+        return stats
+
+    def _emit_decision(
+        self,
+        *,
+        epoch: int,
+        t: float,
+        events: list[str],
+        full_solve: bool,
+        solved: int,
+        cache_hits: int,
+        rejected: list[int],
+        evicted: list[int],
+        latency_s: float,
+    ) -> ServeDecision:
+        sids, r, s = self.planner.decision_arrays()
+        outcome = benefit = None
+        assignment: dict[int, tuple[int, ...]] = {}
+        if sids and self.planner.n_alive:
+            outcome = self.planner.outcome()
+            benefit = float(self.preference.value(outcome))
+            assignment = self.planner.stream_assignment()
+        decision = ServeDecision(
+            epoch=epoch,
+            time=t,
+            events=events,
+            stream_ids=sids,
+            resolutions=r,
+            fps=s,
+            assignment=assignment,
+            outcome=outcome,
+            benefit=benefit,
+            full_solve=full_solve,
+            cache_hits=cache_hits,
+            solved=solved,
+            rejected=rejected,
+            evicted=evicted,
+            latency_s=latency_s,
+        )
+        self.decisions.append(decision)
+        telemetry.counter("serve.replans")
+        if not full_solve:  # serve.full_solves counted in _full_solve
+            telemetry.counter("serve.cache_hits", cache_hits)
+        telemetry.counter("serve.solved", solved)
+        if telemetry.enabled:
+            telemetry.event(
+                "serve.decision",
+                epoch=int(epoch),
+                time=float(t),
+                events=events,
+                n_streams=len(sids),
+                n_alive_servers=int(self.planner.n_alive),
+                benefit=benefit,
+                outcome=None if outcome is None else [float(v) for v in outcome],
+                full_solve=bool(full_solve),
+                cache_hits=int(cache_hits),
+                solved=int(solved),
+                rejected=[int(x) for x in rejected],
+                evicted=[int(x) for x in evicted],
+                latency_s=float(latency_s),
+            )
+        return decision
+
+    # -- monitoring loop (legacy OnlineScheduler semantics) ----------------
+    def run_epochs(
+        self,
+        n_epochs: int,
+        *,
+        environment: Callable[[ScheduleDecision, int], np.ndarray],
+        detector=None,
+    ) -> list[ServeEpochTick]:
+        """Fixed-epoch monitoring: observe, detect drift, full-solve.
+
+        The environment maps the deployed decision to an observed
+        outcome vector; the detector flags sustained deviation; a drift
+        triggers a full solve (a fresh scheduler when
+        ``reuse_scheduler=False`` — the legacy contract).  Epochs are
+        numbered 0..n-1 per call, matching the old loop exactly.
+
+        Deploys here go through :meth:`_deploy_batch`, not the
+        incremental planner: the monitoring loop redeploys the batch
+        decision verbatim (the legacy contract keeps every stream even
+        when the engine's first-fit embedding would degrade some).
+        """
+        if n_epochs < 1:
+            raise ValueError(f"n_epochs must be >= 1, got {n_epochs}")
+        if detector is None:
+            from repro.core.online import DriftDetector
+
+            detector = DriftDetector()
+        if not self.started:
+            self.started = True
+            self._deploy_batch(reason="warmup", epoch=0)
+        ticks: list[ServeEpochTick] = []
+        for epoch in range(n_epochs):
+            decision = self.deployed_decision()
+            expected = decision.outcome
+            observed = environment(decision, epoch)
+            dev = detector.deviation(expected, observed)
+            drifted = detector.update(expected, observed)
+            if drifted:
+                self._deploy_batch(reason="drift", epoch=epoch)
+                detector.reset()
+                telemetry.counter("serve.drift_reoptimizations")
+            ticks.append(
+                ServeEpochTick(
+                    epoch=epoch,
+                    expected=np.asarray(expected, dtype=float),
+                    observed=np.asarray(observed, dtype=float),
+                    deviation=dev,
+                    reoptimized=drifted,
+                )
+            )
+        return ticks
+
+    def deployed_decision(self) -> ScheduleDecision:
+        """The live decision as a :class:`ScheduleDecision`.
+
+        From the last batch solve when one exists; synthesized from the
+        engine state otherwise (greedy/incremental mode).
+        """
+        if self.last_decision is not None:
+            return self.last_decision
+        sids, r, s = self.planner.decision_arrays()
+        if not sids:
+            raise RuntimeError("no streams admitted; nothing deployed")
+        outcome = self.planner.outcome()
+        per_stream = self.planner.stream_assignment()
+        return ScheduleDecision(
+            resolutions=r,
+            fps=s,
+            assignment=[int(per_stream[sid][0]) for sid in sids],
+            outcome=outcome,
+            benefit=float(self.preference.value(outcome)),
+            method="Serve",
+        )
+
+    # -- checkpoint / resume ----------------------------------------------
+    def save_checkpoint(self, path):
+        """Atomically pickle the whole service (engine, queue, scheduler)."""
+        from repro.resilience.checkpoint import save_checkpoint
+
+        return save_checkpoint(
+            path,
+            scheduler=self,
+            bo_state=None,
+            kind="serve",
+            epoch=self.epoch,
+            n_streams=len(self.planner.entries),
+        )
+
+    @classmethod
+    def resume(cls, path) -> "SchedulerService":
+        """Load a serve checkpoint written by :meth:`save_checkpoint`."""
+        from repro.resilience.checkpoint import load_checkpoint
+
+        ckpt = load_checkpoint(path)
+        if ckpt.meta.get("kind") != "serve":
+            raise ValueError(
+                f"{path} is not a serve checkpoint "
+                f"(kind={ckpt.meta.get('kind')!r})"
+            )
+        service = ckpt.scheduler
+        if not isinstance(service, cls):
+            raise ValueError(f"{path} does not hold a {cls.__name__}")
+        return service
+
+    # -- summary -----------------------------------------------------------
+    def summary(self) -> dict:
+        """Aggregate run statistics over all decisions so far."""
+        lat = sorted(d.latency_s for d in self.decisions)
+        benefits = [d.benefit for d in self.decisions if d.benefit is not None]
+
+        def pct(q: float) -> float:
+            if not lat:
+                return 0.0
+            pos = q * (len(lat) - 1)
+            lo = int(pos)
+            hi = min(lo + 1, len(lat) - 1)
+            return lat[lo] * (1 - (pos - lo)) + lat[hi] * (pos - lo)
+
+        return {
+            "epochs": len(self.decisions),
+            "full_solves": sum(1 for d in self.decisions if d.full_solve),
+            "cache_hits": sum(d.cache_hits for d in self.decisions),
+            "solved": sum(d.solved for d in self.decisions),
+            "rejected": sum(len(d.rejected) for d in self.decisions),
+            "evicted": sum(len(d.evicted) for d in self.decisions),
+            "n_streams": len(self.planner.entries),
+            "n_alive_servers": self.planner.n_alive,
+            "benefit_first": benefits[0] if benefits else None,
+            "benefit_last": benefits[-1] if benefits else None,
+            "decision_p50_s": pct(0.50),
+            "decision_p95_s": pct(0.95),
+            "decision_max_s": lat[-1] if lat else 0.0,
+        }

@@ -1,0 +1,107 @@
+"""Load generator: determinism, validity of the generated churn."""
+
+import pytest
+
+from repro.serve import ChurnProfile, generate_load
+
+
+def _profile(**kw):
+    defaults = dict(
+        hours=0.5,
+        arrivals_per_hour=200.0,
+        departures_per_hour=150.0,
+        drifts_per_hour=40.0,
+        flaps_per_hour=10.0,
+    )
+    defaults.update(kw)
+    return ChurnProfile(**defaults)
+
+
+class TestChurnProfile:
+    def test_rejects_nonpositive_hours(self):
+        with pytest.raises(ValueError, match="hours"):
+            ChurnProfile(hours=0.0)
+
+    def test_rejects_negative_rates(self):
+        with pytest.raises(ValueError, match="arrivals_per_hour"):
+            ChurnProfile(arrivals_per_hour=-1.0)
+
+    def test_rejects_bad_bw_range(self):
+        with pytest.raises(ValueError, match="bw_factor_range"):
+            ChurnProfile(bw_factor_range=(0.0, 1.0))
+
+
+class TestGenerateLoad:
+    def test_same_seed_same_log(self):
+        a = generate_load(6, 4, profile=_profile(), seed=7)
+        b = generate_load(6, 4, profile=_profile(), seed=7)
+        assert a == b
+
+    def test_different_seed_differs(self):
+        a = generate_load(6, 4, profile=_profile(), seed=7)
+        b = generate_load(6, 4, profile=_profile(), seed=8)
+        assert a != b
+
+    def test_topology_recorded(self):
+        log = generate_load(6, 4, profile=_profile(), seed=0)
+        assert log.n_streams == 6
+        assert log.n_servers == 4
+        assert log.seed == 0
+        assert log.horizon_s == pytest.approx(0.5 * 3600.0)
+
+    def test_event_volume_scales_with_rates(self):
+        small = generate_load(6, 4, profile=_profile(arrivals_per_hour=50.0,
+                                                     departures_per_hour=50.0),
+                              seed=0)
+        big = generate_load(6, 4, profile=_profile(arrivals_per_hour=2000.0,
+                                                   departures_per_hour=2000.0),
+                            seed=0)
+        assert len(big) > len(small)
+
+    def test_leaves_only_target_active_streams(self):
+        log = generate_load(6, 4, profile=_profile(), seed=3)
+        active = set(range(6))
+        for e in log:
+            if e.kind == "stream_join":
+                assert e.target not in active
+                active.add(e.target)
+            elif e.kind == "stream_leave":
+                assert e.target in active
+                active.remove(e.target)
+
+    def test_population_floor_respected(self):
+        log = generate_load(
+            2, 3,
+            profile=_profile(arrivals_per_hour=5.0, departures_per_hour=500.0,
+                             min_active=1),
+            seed=1,
+        )
+        n_active = 2
+        for e in log:
+            if e.kind == "stream_join":
+                n_active += 1
+            elif e.kind == "stream_leave":
+                n_active -= 1
+            assert n_active >= 1
+
+    def test_at_most_one_server_down(self):
+        log = generate_load(6, 4, profile=_profile(flaps_per_hour=60.0), seed=5)
+        down = set()
+        for e in log:
+            if e.kind == "server_down":
+                down.add(e.target)
+                assert len(down) <= 1
+            elif e.kind == "server_up":
+                assert e.target in down
+                down.remove(e.target)
+        assert not down  # every outage ends within the log
+
+    def test_server_targets_in_range(self):
+        log = generate_load(6, 4, profile=_profile(), seed=2)
+        for e in log:
+            if e.kind in ("bandwidth_drift", "server_down", "server_up"):
+                assert 0 <= e.target < 4
+
+    def test_single_server_never_flaps(self):
+        log = generate_load(4, 1, profile=_profile(flaps_per_hour=100.0), seed=0)
+        assert all(e.kind not in ("server_down", "server_up") for e in log)
