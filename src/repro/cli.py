@@ -24,9 +24,12 @@ Commands:
 * ``serve`` — the event-driven online scheduler service family:
   ``serve loadgen`` writes a seeded churn event log, ``serve run``
   replays one through :class:`repro.serve.SchedulerService` (with
-  ``--telemetry``, ``--checkpoint``/``--resume``), and
-  ``serve report`` summarizes a serve trace with decision-latency
-  percentiles and an optional ``--max-p95`` CI gate;
+  ``--telemetry`` incl. size rotation, ``--checkpoint``/``--resume``,
+  and ``--metrics-port`` exposing live ``/metrics``/``/healthz``/
+  ``/varz`` endpoints with ``--slo`` health rules), ``serve top``
+  renders a live terminal dashboard off a running ``serve run``, and
+  ``serve report`` summarizes a serve trace with rolling-window
+  decision-latency percentiles and an optional ``--max-p95`` CI gate;
 * ``info`` — version and module inventory.
 
 ``optimize`` also understands ``--checkpoint PATH`` /
@@ -561,9 +564,33 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         return 2
     if telemetry_path:
         telemetry.enable(telemetry_path)
+    monitor = None
+    if args.max_drop is not None:
+        from repro.obs import HealthMonitor, SloRule
+
+        monitor = HealthMonitor(
+            [
+                SloRule(
+                    metric="benefit_drop_ratio",
+                    op="<=",
+                    threshold=float(args.max_drop),
+                    severity="degraded",
+                    name="benefit_drop",
+                ),
+                SloRule(
+                    metric="feasible",
+                    op=">=",
+                    threshold=1.0,
+                    severity="unhealthy",
+                    name="feasibility",
+                ),
+            ]
+        )
     try:
         try:
-            runner = ChaosRunner(problem, plan, factory, preference=pref)
+            runner = ChaosRunner(
+                problem, plan, factory, preference=pref, monitor=monitor
+            )
             report = runner.run()
         except ValueError as exc:
             print(f"error: {exc}", file=sys.stderr)
@@ -608,6 +635,16 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             rows,
         )
     )
+    if report.alerts:
+        print(f"alerts ({report.alerts_fired} fired):")
+        for a in report.alerts:
+            print(
+                f"  {a['event']}: {a['rule']}"
+                f" ({a['metric']}={a['value']:.4g}"
+                f" vs {a['threshold']:.4g}, {a['severity']})"
+            )
+    elif monitor is not None:
+        print("alerts: none fired")
     if args.output:
         import json
         from pathlib import Path
@@ -789,7 +826,65 @@ def _cmd_serve_run(args: argparse.Namespace) -> int:
         print(f"error: cannot write telemetry log: {err}", file=sys.stderr)
         return 2
     if telemetry_path:
-        telemetry.enable(telemetry_path)
+        from repro.obs import JsonlSink
+
+        max_bytes = int(getattr(args, "telemetry_max_mb", 0.0) * 1024 * 1024)
+        telemetry.enable(
+            JsonlSink(
+                telemetry_path,
+                max_bytes=max_bytes,
+                backup_count=getattr(args, "telemetry_backups", 3),
+            )
+        )
+
+    metrics_server = None
+    slo_specs = getattr(args, "slo", None)
+    want_metrics = getattr(args, "metrics_port", None) is not None
+    if want_metrics or slo_specs:
+        from repro.obs import HealthMonitor, SloRule, default_rules
+
+        try:
+            rules = (
+                [SloRule.parse(spec) for spec in slo_specs]
+                if slo_specs
+                else default_rules()
+            )
+        except ValueError as exc:
+            print(f"error: bad --slo rule: {exc}", file=sys.stderr)
+            return 2
+        # --slo alone still attaches a monitor: alerts land in telemetry
+        # (alert.fired/resolved events) without the HTTP endpoint.
+        registry = None
+        if want_metrics:
+            from repro.obs import MetricsRegistry, MetricsServer
+
+            registry = MetricsRegistry()
+        service.attach_observability(
+            metrics=registry, monitor=HealthMonitor(rules)
+        )
+    if want_metrics:
+        telemetry.attach_metrics(registry)
+        metrics_server = MetricsServer(
+            registry,
+            health=service.health_status,
+            varz=service.varz,
+            host=getattr(args, "metrics_host", "127.0.0.1"),
+            port=args.metrics_port,
+        )
+        try:
+            port = metrics_server.start()
+        except OSError as exc:
+            print(
+                f"error: cannot bind metrics server on "
+                f"{args.metrics_host}:{args.metrics_port}: {exc}",
+                file=sys.stderr,
+            )
+            return 2
+        print(
+            f"metrics: {metrics_server.url}/metrics · "
+            f"{metrics_server.url}/healthz · {metrics_server.url}/varz"
+        )
+        print(f"watch live with: repro serve top --port {port}")
     try:
         try:
             with telemetry.span("cli.serve"):
@@ -801,6 +896,7 @@ def _cmd_serve_run(args: argparse.Namespace) -> int:
                     max_epochs=args.max_epochs,
                     checkpoint_path=args.checkpoint or None,
                     checkpoint_every=args.checkpoint_every,
+                    pace_s=getattr(args, "pace", 0.0),
                 )
         except InfeasibleScheduleError as exc:
             print(f"error: schedule became infeasible: {exc}", file=sys.stderr)
@@ -809,6 +905,9 @@ def _cmd_serve_run(args: argparse.Namespace) -> int:
         if telemetry_path:
             telemetry.emit_summary(command="serve.run", seed=args.seed)
             telemetry.disable()
+        if metrics_server is not None:
+            telemetry.attach_metrics(None)
+            metrics_server.stop()
 
     s = service.summary()
     method = args.method if getattr(args, "method", "") else "greedy (engine)"
@@ -824,8 +923,13 @@ def _cmd_serve_run(args: argparse.Namespace) -> int:
     print(
         f"  decision latency p50 {s['decision_p50_s'] * 1e3:.3f} ms   "
         f"p95 {s['decision_p95_s'] * 1e3:.3f} ms   "
-        f"max {s['decision_max_s'] * 1e3:.3f} ms"
+        f"max {s['decision_max_s'] * 1e3:.3f} ms   "
+        f"(window {s['decision_window']} epochs)"
     )
+    if s["alerts_fired"] or s["health"] != "ok":
+        print(
+            f"  health {s['health']}   alerts fired {s['alerts_fired']}"
+        )
     if s["benefit_last"] is not None:
         print(
             f"  benefit {s['benefit_first']:+.4f} (warm-up) -> "
@@ -840,6 +944,19 @@ def _cmd_serve_run(args: argparse.Namespace) -> int:
             f"(or repro report / repro trace)"
         )
     return 0
+
+
+def _cmd_serve_top(args: argparse.Namespace) -> int:
+    from repro.serve.top import run_top
+
+    url = args.url or f"http://{args.host}:{args.port}"
+    return run_top(
+        url,
+        interval_s=args.interval,
+        iterations=args.iterations,
+        color=not args.no_color,
+        clear=not args.no_clear,
+    )
 
 
 def _cmd_serve_report(args: argparse.Namespace) -> int:
@@ -1152,6 +1269,53 @@ def _register_serve(sub) -> None:
         help="write a JSONL telemetry event log (serve.* events + spans)",
     )
     p_run.add_argument(
+        "--telemetry-max-mb",
+        type=float,
+        default=0.0,
+        metavar="MB",
+        help="rotate the telemetry log when a segment reaches this size "
+        "(default: 0 = never; readers stitch rotated segments back)",
+    )
+    p_run.add_argument(
+        "--telemetry-backups",
+        type=int,
+        default=3,
+        metavar="N",
+        help="rotated segments to keep (with --telemetry-max-mb; default 3)",
+    )
+    p_run.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve live Prometheus/JSON metrics on this port "
+        "(/metrics, /healthz, /varz; 0 = ephemeral)",
+    )
+    p_run.add_argument(
+        "--metrics-host",
+        type=str,
+        default="127.0.0.1",
+        metavar="HOST",
+        help="bind address for --metrics-port (default: 127.0.0.1)",
+    )
+    p_run.add_argument(
+        "--slo",
+        action="append",
+        default=None,
+        metavar="RULE",
+        help="SLO rule '[name:] metric op value [for N] [! severity]', "
+        "e.g. 'decision_p95_s < 0.25 ! unhealthy' (repeatable; default: "
+        "stock latency + benefit-drop rules)",
+    )
+    p_run.add_argument(
+        "--pace",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="sleep between epochs so a replayed log runs long enough "
+        "to watch live (default: 0 = full speed)",
+    )
+    p_run.add_argument(
         "--checkpoint",
         type=str,
         default="",
@@ -1192,6 +1356,41 @@ def _register_serve(sub) -> None:
         help="event log destination (default: events.json)",
     )
     p_gen.set_defaults(func=_cmd_serve_loadgen)
+
+    p_top = serve_sub.add_parser(
+        "top", help="live terminal dashboard for a running serve process"
+    )
+    p_top.add_argument(
+        "--url",
+        type=str,
+        default="",
+        metavar="URL",
+        help="metrics endpoint base URL (overrides --host/--port)",
+    )
+    p_top.add_argument(
+        "--host", type=str, default="127.0.0.1",
+        help="metrics host (default: 127.0.0.1)",
+    )
+    p_top.add_argument(
+        "--port", type=int, default=9109,
+        help="metrics port of the serve run (default: 9109)",
+    )
+    p_top.add_argument(
+        "--interval", type=float, default=1.0, metavar="SECONDS",
+        help="refresh interval (default: 1.0)",
+    )
+    p_top.add_argument(
+        "--iterations", type=int, default=0, metavar="N",
+        help="draw N frames then exit (default: 0 = until Ctrl-C)",
+    )
+    p_top.add_argument(
+        "--no-color", action="store_true", help="plain output, no ANSI color"
+    )
+    p_top.add_argument(
+        "--no-clear", action="store_true",
+        help="append frames instead of clearing the screen (log-friendly)",
+    )
+    p_top.set_defaults(func=_cmd_serve_top)
 
     p_rep = serve_sub.add_parser(
         "report", help="summarize a serve run's telemetry log"

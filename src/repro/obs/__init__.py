@@ -15,6 +15,16 @@ Everything is a fast no-op until :func:`~repro.obs.telemetry.Telemetry.enable`
 is called, so library code is instrumented unconditionally.
 """
 
+from repro.obs.exposition import MetricsServer, render_prometheus
+from repro.obs.health import Alert, HealthMonitor, SloRule, default_rules
+from repro.obs.metrics import (
+    Counter,
+    Ewma,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    RollingWindow,
+)
 from repro.obs.sinks import EventSink, JsonlSink, MemorySink, NullSink
 from repro.obs.telemetry import (
     Telemetry,
@@ -25,13 +35,25 @@ from repro.obs.telemetry import (
 )
 
 __all__ = [
+    "Alert",
+    "Counter",
     "EventSink",
+    "Ewma",
+    "Gauge",
+    "HealthMonitor",
+    "Histogram",
     "JsonlSink",
     "MemorySink",
+    "MetricsRegistry",
+    "MetricsServer",
     "NullSink",
+    "RollingWindow",
+    "SloRule",
     "Telemetry",
+    "default_rules",
     "get_telemetry",
     "new_span_id",
     "new_trace_id",
+    "render_prometheus",
     "telemetry",
 ]

@@ -107,10 +107,26 @@ class JsonlSink(EventSink):
     readable log behind.  SIGTERM/SIGINT also flush every live sink
     (chaining to any previously installed handler) — ``atexit`` never
     fires when a signal's default action kills the process.
+
+    Rotation: with ``max_bytes > 0`` the file rotates before a write
+    would push it past the limit — ``run.jsonl`` becomes
+    ``run.jsonl.1`` (older segments shift to ``.2``, ``.3``, ... up to
+    ``backup_count``, the oldest dropped) and a fresh file is opened.
+    Long-lived serve runs stay bounded on disk, and the readers
+    (:func:`jsonl_segments`, :func:`repro.obs.trace.load_events`,
+    ``repro serve report``) stitch segments back together oldest-first
+    so trace reconstruction sees one continuous log.
     """
 
-    def __init__(self, path) -> None:
+    def __init__(self, path, *, max_bytes: int = 0, backup_count: int = 3) -> None:
+        if max_bytes < 0:
+            raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
+        if backup_count < 0:
+            raise ValueError(f"backup_count must be >= 0, got {backup_count}")
         self.path = Path(path)
+        self.max_bytes = int(max_bytes)
+        self.backup_count = int(backup_count)
+        self.rotations = 0
         self._fh: TextIO | None = None
         # RLock: the signal-flush handler runs on the main thread and
         # may interrupt an emit() that already holds the lock.
@@ -128,10 +144,33 @@ class JsonlSink(EventSink):
             _install_signal_flush()
         return self._fh
 
+    def _rotate(self) -> None:
+        """Shift ``path`` -> ``path.1`` -> ... under the held lock."""
+        self._fh.close()
+        self._fh = None
+        if self.backup_count > 0:
+            oldest = self.path.with_name(f"{self.path.name}.{self.backup_count}")
+            oldest.unlink(missing_ok=True)
+            for i in range(self.backup_count - 1, 0, -1):
+                src = self.path.with_name(f"{self.path.name}.{i}")
+                if src.exists():
+                    src.rename(self.path.with_name(f"{self.path.name}.{i + 1}"))
+            self.path.rename(self.path.with_name(f"{self.path.name}.1"))
+        else:
+            # No backups kept: rotation truncates in place.
+            self.path.unlink(missing_ok=True)
+        self.rotations += 1
+
     def emit(self, record: dict[str, Any]) -> None:
         line = json.dumps(to_jsonable(record)) + "\n"
         with self._lock:
-            self._handle().write(line)
+            fh = self._handle()
+            if self.max_bytes > 0:
+                pos = fh.tell()
+                if pos > 0 and pos + len(line) > self.max_bytes:
+                    self._rotate()
+                    fh = self._handle()
+            fh.write(line)
 
     def flush(self) -> None:
         with self._lock:
@@ -147,3 +186,48 @@ class JsonlSink(EventSink):
                 atexit.unregister(self.close)
                 self._atexit_registered = False
         _LIVE_SINKS.discard(self)
+
+
+def jsonl_segments(path) -> list[Path]:
+    """All on-disk segments of a (possibly rotated) JSONL log.
+
+    Oldest first: ``path.N``, ..., ``path.1``, then ``path`` itself —
+    concatenating them in this order reproduces the unrotated log, so
+    trace reconstruction works across rotation boundaries.  A log that
+    never rotated yields just ``[path]``; a missing base path yields
+    whatever numbered segments exist.
+    """
+    base = Path(path)
+    numbered: list[tuple[int, Path]] = []
+    i = 1
+    while True:
+        seg = base.with_name(f"{base.name}.{i}")
+        if not seg.exists():
+            break
+        numbered.append((i, seg))
+        i += 1
+    out = [seg for _, seg in sorted(numbered, reverse=True)]
+    if base.exists():
+        out.append(base)
+    return out
+
+
+def iter_jsonl_records(path):
+    """Yield parsed record dicts across all rotated segments of ``path``.
+
+    Blank and malformed lines (a torn final line from a killed run, or
+    the torn line a rotation boundary can leave in a crash) are
+    skipped rather than fatal.
+    """
+    for segment in jsonl_segments(path):
+        with segment.open() as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    rec = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if isinstance(rec, dict):
+                    yield rec

@@ -38,21 +38,17 @@ __all__ = [
 def load_events(path) -> list[dict[str, Any]]:
     """Parse a JSONL telemetry event log into a list of record dicts.
 
+    Reads across rotated segments (``path.N`` ... ``path.1``, then
+    ``path`` — see :class:`repro.obs.sinks.JsonlSink` rotation), so a
+    trace reconstructed from a size-rotated log is still one tree.
     Blank lines are skipped; a malformed (torn) final line — the
     signature of a run killed mid-write — is dropped rather than fatal.
     """
-    events: list[dict[str, Any]] = []
-    for line in Path(path).read_text().splitlines():
-        line = line.strip()
-        if not line:
-            continue
-        try:
-            rec = json.loads(line)
-        except json.JSONDecodeError:
-            continue
-        if isinstance(rec, dict):
-            events.append(rec)
-    return events
+    from repro.obs.sinks import iter_jsonl_records, jsonl_segments
+
+    if not jsonl_segments(path):
+        raise FileNotFoundError(path)
+    return list(iter_jsonl_records(path))
 
 
 @dataclass

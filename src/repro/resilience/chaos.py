@@ -112,6 +112,11 @@ class ChaosReport:
     baseline: OptimizationOutcome
     baseline_benefit: float
     epochs: list[EpochResult] = field(default_factory=list)
+    alerts: list[dict] = field(default_factory=list)
+
+    @property
+    def alerts_fired(self) -> int:
+        return sum(1 for a in self.alerts if a.get("event") == "alert.fired")
 
     @property
     def worst_benefit(self) -> float | None:
@@ -147,6 +152,8 @@ class ChaosReport:
                 "worst_benefit": self.worst_benefit,
                 "worst_drop": self.worst_drop,
                 "all_feasible": self.all_feasible,
+                "alerts": self.alerts,
+                "alerts_fired": self.alerts_fired,
             }
         )
 
@@ -171,6 +178,14 @@ class ChaosRunner:
         to each decision's own ``benefit`` field, which is *not*
         comparable across refit learned models — pass the preference
         whenever it is available.
+    monitor:
+        Optional :class:`repro.obs.health.HealthMonitor` evaluated
+        after every fault epoch against ``{"benefit_drop_ratio",
+        "feasible", "n_servers", "n_streams"}``, so an injected fault
+        that tanks the benefit trips the same ``alert.fired`` /
+        ``alert.resolved`` telemetry events the live serve loop emits
+        — chaos runs assert on alerts, not log greps.  The fired/
+        resolved edges also collect in :attr:`ChaosReport.alerts`.
     """
 
     def __init__(
@@ -180,11 +195,13 @@ class ChaosRunner:
         scheduler_factory: Callable[[EVAProblem], object],
         *,
         preference=None,
+        monitor=None,
     ) -> None:
         self.problem = problem
         self.fault_plan = fault_plan
         self.scheduler_factory = scheduler_factory
         self.preference = preference
+        self.monitor = monitor
 
     def _score(self, outcome: OptimizationOutcome) -> float:
         if self.preference is None:
@@ -258,7 +275,30 @@ class ChaosRunner:
                     baseline_benefit=report.baseline_benefit,
                 )
                 report.epochs.append(epoch)
+                self._check_health(report, epoch)
         return report
+
+    def _check_health(self, report: ChaosReport, epoch: EpochResult) -> None:
+        """Run the health monitor over one epoch; emit fired/resolved edges."""
+        if self.monitor is None:
+            return
+        scale = max(abs(report.baseline_benefit), 1e-12)
+        drop = (
+            None
+            if epoch.benefit is None
+            else max(0.0, (report.baseline_benefit - epoch.benefit) / scale)
+        )
+        snapshot = {
+            "benefit_drop_ratio": drop,
+            "feasible": float(epoch.feasible),
+            "n_servers": float(epoch.n_servers),
+            "n_streams": float(epoch.n_streams),
+        }
+        for edge in self.monitor.evaluate(snapshot, epoch=epoch.index):
+            report.alerts.append(dict(edge))
+            kind = edge.pop("event")
+            telemetry.counter(f"chaos.{kind.replace('.', '_')}")
+            telemetry.event(kind, time=epoch.time, **edge)
 
     @staticmethod
     def _apply(

@@ -26,13 +26,16 @@ from repro.serve.greedy import GreedyScheduler
 from repro.serve.loadgen import ChurnProfile, generate_load
 from repro.serve.report import ServeSummary, summarize_serve_run
 from repro.serve.service import (
+    DECISION_WINDOW,
     RegistryFactory,
     SchedulerService,
     ServeDecision,
     ServeEpochTick,
 )
+from repro.serve.top import fetch_varz, render_top, run_top
 
 __all__ = [
+    "DECISION_WINDOW",
     "SERVE_EVENT_KINDS",
     "ChurnProfile",
     "EventLog",
@@ -46,7 +49,10 @@ __all__ = [
     "ServeEvent",
     "ServeSummary",
     "approx_preference",
+    "fetch_varz",
     "from_fault",
     "generate_load",
+    "render_top",
+    "run_top",
     "summarize_serve_run",
 ]

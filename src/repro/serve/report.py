@@ -5,16 +5,18 @@ A serve run records everything through :mod:`repro.obs` — one
 the ``serve.*`` counters inside the final ``run.summary`` — so the
 generic ``repro report``/``repro trace`` work unchanged.  This module
 adds the serve-specific view: :func:`summarize_serve_run` parses the
-JSONL into a :class:`ServeSummary` with exact decision-latency
-percentiles (computed over *all* per-epoch span events, not the bounded
-reservoir), the counter proof of the incremental path
-(``full_solves``/``cache_hits``), and the benefit trajectory.  The p95
-budget gate of the ``serve-smoke`` CI job is :meth:`ServeSummary.gate`.
+JSONL (across rotated segments) into a :class:`ServeSummary` whose
+headline p50/p95/p99 use the **rolling-window definition** shared with
+:meth:`repro.serve.service.SchedulerService.summary` and the live
+``/metrics`` surface — exact percentiles over the most recent
+:data:`~repro.serve.service.DECISION_WINDOW` epochs — plus the counter
+proof of the incremental path (``full_solves``/``cache_hits``), the
+benefit trajectory, and any ``alert.*`` events.  The p95 budget gate of
+the ``serve-smoke`` CI job is :meth:`ServeSummary.gate`.
 """
 
 from __future__ import annotations
 
-import json
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -50,13 +52,18 @@ class ServeSummary:
     admission_rejects: int = 0
     repairs: int = 0
     decision_count: int = 0
+    decision_window: int = 0
     decision_p50_s: float = 0.0
     decision_p95_s: float = 0.0
+    decision_p99_s: float = 0.0
     decision_max_s: float = 0.0
     decision_mean_s: float = 0.0
     benefit_first: float | None = None
     benefit_last: float | None = None
     n_streams_last: int = 0
+    alerts_fired: int = 0
+    alerts_resolved: int = 0
+    alerts: list = field(default_factory=list)
     counters: dict = field(default_factory=dict)
 
     @property
@@ -82,13 +89,17 @@ class ServeSummary:
             "admission_rejects": self.admission_rejects,
             "repairs": self.repairs,
             "decision_count": self.decision_count,
+            "decision_window": self.decision_window,
             "decision_p50_s": self.decision_p50_s,
             "decision_p95_s": self.decision_p95_s,
+            "decision_p99_s": self.decision_p99_s,
             "decision_max_s": self.decision_max_s,
             "decision_mean_s": self.decision_mean_s,
             "benefit_first": self.benefit_first,
             "benefit_last": self.benefit_last,
             "n_streams_last": self.n_streams_last,
+            "alerts_fired": self.alerts_fired,
+            "alerts_resolved": self.alerts_resolved,
         }
 
     def render(self) -> str:
@@ -105,8 +116,9 @@ class ServeSummary:
             f"  repairs           {self.repairs}",
             f"  decision latency  p50 {self.decision_p50_s * 1e3:.3f} ms"
             f" · p95 {self.decision_p95_s * 1e3:.3f} ms"
+            f" · p99 {self.decision_p99_s * 1e3:.3f} ms"
             f" · max {self.decision_max_s * 1e3:.3f} ms"
-            f" ({self.decision_count} epochs)",
+            f" (window {self.decision_window} of {self.decision_count} epochs)",
         ]
         if self.benefit_first is not None:
             lines.append(
@@ -114,51 +126,66 @@ class ServeSummary:
                 f" -> {self.benefit_last:+.4f} (last)"
                 f" · {self.n_streams_last} streams at end"
             )
+        if self.alerts_fired or self.alerts_resolved:
+            lines.append(
+                f"  alerts            {self.alerts_fired} fired"
+                f" · {self.alerts_resolved} resolved"
+            )
+            for a in self.alerts[-5:]:
+                lines.append(
+                    f"    {a.get('event')}: {a.get('rule')}"
+                    f" ({a.get('metric')}={a.get('value'):.4g}"
+                    f" vs {a.get('threshold'):.4g}, {a.get('severity')})"
+                )
         return "\n".join(lines)
 
 
 def summarize_serve_run(path) -> ServeSummary:
     """Parse a serve run's JSONL trace into a :class:`ServeSummary`.
 
-    Tolerant of partial logs (crashed runs): percentiles come from the
+    Reads across rotated segments (``path.N`` ... ``path``) and is
+    tolerant of partial logs (crashed runs): percentiles come from the
     per-epoch span events, counters prefer the final ``run.summary``
     but fall back to summing the per-epoch decision events.
     """
+    from repro.obs.sinks import iter_jsonl_records, jsonl_segments
+    from repro.serve.service import DECISION_WINDOW
+
     path = Path(path)
+    if not jsonl_segments(path):
+        raise FileNotFoundError(path)
     summary = ServeSummary(path=str(path))
     durations: list[float] = []
     benefits: list[float] = []
     epoch_full_solves = epoch_cache_hits = epoch_solved = 0
     epoch_rejects = epoch_events = 0
     run_counters: dict | None = None
-    with path.open() as fh:
-        for line in fh:
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                rec = json.loads(line)
-            except json.JSONDecodeError:
-                continue
-            kind = rec.get("event")
-            if kind == "trace.start" and summary.trace_id is None:
-                summary.trace_id = rec.get("trace_id")
-            elif kind == "span" and rec.get("name") == DECISION_SPAN:
-                durations.append(float(rec.get("duration_s", 0.0)))
-            elif kind == "serve.decision":
-                summary.epochs += 1
-                epoch_events += len(rec.get("events", ()))
-                epoch_full_solves += bool(rec.get("full_solve"))
-                epoch_cache_hits += int(rec.get("cache_hits", 0))
-                epoch_solved += int(rec.get("solved", 0))
-                epoch_rejects += len(rec.get("rejected", ()))
-                if rec.get("benefit") is not None:
-                    benefits.append(float(rec["benefit"]))
-                summary.n_streams_last = int(
-                    rec.get("n_streams", summary.n_streams_last)
-                )
-            elif kind == "run.summary":
-                run_counters = rec.get("report", {}).get("counters", {})
+    for rec in iter_jsonl_records(path):
+        kind = rec.get("event")
+        if kind == "trace.start" and summary.trace_id is None:
+            summary.trace_id = rec.get("trace_id")
+        elif kind == "span" and rec.get("name") == DECISION_SPAN:
+            durations.append(float(rec.get("duration_s", 0.0)))
+        elif kind == "serve.decision":
+            summary.epochs += 1
+            epoch_events += len(rec.get("events", ()))
+            epoch_full_solves += bool(rec.get("full_solve"))
+            epoch_cache_hits += int(rec.get("cache_hits", 0))
+            epoch_solved += int(rec.get("solved", 0))
+            epoch_rejects += len(rec.get("rejected", ()))
+            if rec.get("benefit") is not None:
+                benefits.append(float(rec["benefit"]))
+            summary.n_streams_last = int(
+                rec.get("n_streams", summary.n_streams_last)
+            )
+        elif kind == "alert.fired":
+            summary.alerts_fired += 1
+            summary.alerts.append(rec)
+        elif kind == "alert.resolved":
+            summary.alerts_resolved += 1
+            summary.alerts.append(rec)
+        elif kind == "run.summary":
+            run_counters = rec.get("report", {}).get("counters", {})
     counters = run_counters if run_counters is not None else {}
     summary.counters = counters
     summary.events = int(counters.get("serve.events", epoch_events))
@@ -169,11 +196,15 @@ def summarize_serve_run(path) -> ServeSummary:
         counters.get("serve.admission_rejects", epoch_rejects)
     )
     summary.repairs = int(counters.get("serve.repairs", 0))
-    durations.sort()
     summary.decision_count = len(durations)
-    summary.decision_p50_s = _percentile(durations, 0.50)
-    summary.decision_p95_s = _percentile(durations, 0.95)
-    summary.decision_max_s = durations[-1] if durations else 0.0
+    # Headline percentiles use the rolling-window definition shared
+    # with SchedulerService.summary(): the last DECISION_WINDOW epochs.
+    window = sorted(durations[-DECISION_WINDOW:])
+    summary.decision_window = len(window)
+    summary.decision_p50_s = _percentile(window, 0.50)
+    summary.decision_p95_s = _percentile(window, 0.95)
+    summary.decision_p99_s = _percentile(window, 0.99)
+    summary.decision_max_s = window[-1] if window else 0.0
     summary.decision_mean_s = (
         sum(durations) / len(durations) if durations else 0.0
     )

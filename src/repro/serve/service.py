@@ -32,6 +32,8 @@ require identical decision signatures.
 from __future__ import annotations
 
 import time
+from bisect import bisect_left, insort
+from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Iterable
 
@@ -46,11 +48,144 @@ from repro.serve.engine import IncrementalPlanner
 from repro.serve.events import EventQueue, ServeEvent
 
 __all__ = [
+    "DECISION_WINDOW",
     "SchedulerService",
     "ServeDecision",
     "ServeEpochTick",
     "RegistryFactory",
 ]
+
+#: Samples in the rolling decision window — THE definition of the
+#: serve loop's "current" latency percentiles and benefit baseline.
+#: :meth:`SchedulerService.summary`, :meth:`SchedulerService.
+#: health_snapshot`, and :func:`repro.serve.report.summarize_serve_run`
+#: all compute p50/p95/p99 over the most recent ``DECISION_WINDOW``
+#: epochs, so a scrape mid-run and a post-hoc report agree.
+DECISION_WINDOW = 512
+
+#: Instrument keys mirrored as monotone counters, and how many latency
+#: samples may sit in the scrape-time flush buffer before the serve
+#: thread flushes inline (bounds memory on scraper-less runs).
+_COUNTER_KEYS = (
+    "epochs", "full_solves", "cache_hits", "solved", "rejects", "evictions"
+)
+_FLUSH_EVERY = 4096
+
+
+def _pct(ordered: list[float], q: float) -> float:
+    """Linear-interpolated percentile of a pre-sorted list (0 if empty)."""
+    if not ordered:
+        return 0.0
+    pos = q * (len(ordered) - 1)
+    lo = int(pos)
+    hi = min(lo + 1, len(ordered) - 1)
+    return ordered[lo] * (1 - (pos - lo)) + ordered[hi] * (pos - lo)
+
+
+class _WindowStats:
+    """Incrementally-maintained rolling window of per-epoch stats.
+
+    The serve loop pushes one entry per epoch and the observability
+    path reads percentiles/sums per epoch, so everything here is
+    amortized O(log n): the latency order statistic lives in a
+    bisect-maintained sorted list and the cache-hit/benefit aggregates
+    are running sums updated on push/evict — a full O(n) pass per
+    epoch would blow the <2% metrics-overhead budget.
+    """
+
+    def __init__(self, maxlen: int = DECISION_WINDOW) -> None:
+        self.maxlen = int(maxlen)
+        self.entries: deque[tuple] = deque()
+        self.lat_sorted: list[float] = []
+        self.hits = 0
+        self.solved = 0
+        self.benefit_sum = 0.0
+        self.benefit_n = 0
+        self.last_benefit: float | None = None
+
+    def push(
+        self,
+        latency_s: float,
+        benefit: float | None,
+        cache_hits: int,
+        solved: int,
+        full_solve: bool,
+    ) -> None:
+        if len(self.entries) >= self.maxlen:
+            old = self.entries.popleft()
+            self.lat_sorted.pop(bisect_left(self.lat_sorted, old[0]))
+            self.hits -= old[2]
+            self.solved -= old[3]
+            if old[1] is not None:
+                self.benefit_sum -= old[1]
+                self.benefit_n -= 1
+        entry = (
+            float(latency_s),
+            None if benefit is None else float(benefit),
+            int(cache_hits),
+            int(solved),
+            bool(full_solve),
+        )
+        self.entries.append(entry)
+        insort(self.lat_sorted, entry[0])
+        self.hits += entry[2]
+        self.solved += entry[3]
+        if entry[1] is not None:
+            self.benefit_sum += entry[1]
+            self.benefit_n += 1
+            self.last_benefit = entry[1]
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @property
+    def baseline(self) -> float | None:
+        """Rolling mean benefit over the window (None before any score)."""
+        return self.benefit_sum / self.benefit_n if self.benefit_n else None
+
+    @classmethod
+    def from_entries(
+        cls, entries: Iterable[tuple], maxlen: int = DECISION_WINDOW
+    ) -> "_WindowStats":
+        """Rebuild from raw entry tuples (pre-refactor checkpoints)."""
+        window = cls(maxlen)
+        for entry in entries:
+            window.push(*entry)
+        return window
+
+
+def _get_cache_hit_ratio(svc, w: _WindowStats) -> float:
+    total = w.hits + w.solved
+    return w.hits / total if total else 0.0
+
+
+def _get_benefit_drop(svc, w: _WindowStats) -> float | None:
+    benefit, baseline = w.last_benefit, w.baseline
+    if benefit is None or baseline is None:
+        return None
+    return max(0.0, (baseline - benefit) / max(abs(baseline), 1e-12))
+
+
+#: ``metric name -> getter(service, window)`` for every documented
+#: :meth:`SchedulerService.health_snapshot` key.  The compiled SLO
+#: probe (:meth:`SchedulerService._build_slo_probe`) evaluates only the
+#: getters the attached rules reference — flat single-call functions,
+#: since this runs every epoch on the hot path.
+_SLO_GETTERS: dict[str, Callable] = {
+    "epoch": lambda svc, w: svc.epoch,
+    "window": lambda svc, w: len(w.entries),
+    "decision_p50_s": lambda svc, w: _pct(w.lat_sorted, 0.50),
+    "decision_p95_s": lambda svc, w: _pct(w.lat_sorted, 0.95),
+    "decision_p99_s": lambda svc, w: _pct(w.lat_sorted, 0.99),
+    "decision_max_s": lambda svc, w: w.lat_sorted[-1] if w.lat_sorted else 0.0,
+    "cache_hit_ratio": _get_cache_hit_ratio,
+    "queue_depth": lambda svc, w: len(svc.queue),
+    "n_streams": lambda svc, w: len(svc.planner.entries),
+    "n_alive_servers": lambda svc, w: svc.planner.n_alive,
+    "benefit": lambda svc, w: w.last_benefit,
+    "benefit_baseline": lambda svc, w: w.baseline,
+    "benefit_drop_ratio": _get_benefit_drop,
+}
 
 
 @dataclass
@@ -224,6 +359,23 @@ class SchedulerService:
         # which full solves rebuild the problem from live state instead
         # of reusing the constructor's problem object.
         self._topology_dirty = False
+        # Rolling per-epoch stats (latency, benefit, hits, solved,
+        # full) — the bounded window behind summary()/health_snapshot().
+        self._window = _WindowStats(DECISION_WINDOW)
+        # Live observability (attach_observability): a MetricsRegistry
+        # mirror and a HealthMonitor driving /healthz + alert events.
+        self.metrics = None
+        self.monitor = None
+        self.alerts: list[dict] = []
+        self._mhandles: dict | None = None
+        self._slo_probe: Callable[[], dict] | None = None
+        # Counter deltas accumulate in plain ints per epoch and flush
+        # into the registry at scrape time (or every _FLUSH_EVERY
+        # epochs) — the per-epoch path stays lock- and registry-free.
+        self._mcounts: dict[str, int] | None = None
+        self._mflushed: dict[str, int] = {}
+        self._mpending: list[float] = []
+        self._mpending_done = 0
 
     # -- topology ----------------------------------------------------------
     def current_problem(self) -> EVAProblem | None:
@@ -286,6 +438,7 @@ class SchedulerService:
         max_epochs: int | None = None,
         checkpoint_path=None,
         checkpoint_every: int = 0,
+        pace_s: float = 0.0,
     ) -> list[ServeDecision]:
         """Drain the event queue epoch by epoch; returns new decisions.
 
@@ -293,6 +446,8 @@ class SchedulerService:
         how the mid-run checkpoint tests split a run).  With
         ``checkpoint_path`` the whole service pickles every
         ``checkpoint_every`` epochs (and at the end of the call).
+        ``pace_s`` sleeps between epochs — replayed logs drain in
+        milliseconds otherwise, too fast for a live scraper to watch.
         """
         if not self.started:
             self.start()
@@ -310,6 +465,8 @@ class SchedulerService:
                 and len(made) % checkpoint_every == 0
             ):
                 self.save_checkpoint(checkpoint_path)
+            if pace_s > 0 and self.queue:
+                time.sleep(pace_s)
         if checkpoint_path and made:
             self.save_checkpoint(checkpoint_path)
         return made
@@ -478,6 +635,9 @@ class SchedulerService:
             latency_s=latency_s,
         )
         self.decisions.append(decision)
+        self._window.push(
+            latency_s, benefit, cache_hits, solved, bool(full_solve)
+        )
         telemetry.counter("serve.replans")
         if not full_solve:  # serve.full_solves counted in _full_solve
             telemetry.counter("serve.cache_hits", cache_hits)
@@ -499,7 +659,264 @@ class SchedulerService:
                 evicted=[int(x) for x in evicted],
                 latency_s=float(latency_s),
             )
+        self._observe(decision)
         return decision
+
+    # -- live observability ------------------------------------------------
+    def attach_observability(self, *, metrics=None, monitor=None) -> None:
+        """Attach a live metrics mirror and/or a health monitor.
+
+        ``metrics`` is a :class:`repro.obs.metrics.MetricsRegistry`:
+        event-driven instruments (counters, the latency histogram) are
+        updated after every epoch decision, while derived gauges
+        (streams, queue depth, hit ratio, benefit) refresh lazily at
+        scrape time via a registry collect hook — the gauge-function
+        idiom, which keeps the per-epoch cost inside the <2% budget.
+        ``monitor`` is a :class:`repro.obs.health.HealthMonitor`
+        evaluated against :meth:`health_snapshot` each epoch, its edge
+        events appended to :attr:`alerts` and emitted as
+        ``alert.fired``/``alert.resolved`` telemetry.  Both are
+        transient: checkpoints drop the registry (it owns locks), so
+        re-attach after :meth:`resume`.
+        """
+        if self.metrics is not None:
+            self.metrics.remove_collect_hook(self._refresh_gauges)
+        self.metrics = metrics
+        self.monitor = monitor
+        self._mhandles = None if metrics is None else {
+            "epochs": metrics.counter(
+                "serve_epochs_total", "epoch decisions made"
+            ),
+            "full_solves": metrics.counter(
+                "serve_full_solves_total", "full re-solves"
+            ),
+            "cache_hits": metrics.counter(
+                "serve_cache_hits_total", "cached stream decisions"
+            ),
+            "solved": metrics.counter(
+                "serve_solved_total", "re-solved stream decisions"
+            ),
+            "rejects": metrics.counter(
+                "serve_admission_rejects_total", "rejected joins"
+            ),
+            "evictions": metrics.counter(
+                "serve_evictions_total", "evicted streams"
+            ),
+            "latency": metrics.histogram(
+                "serve_decision_latency_seconds",
+                "per-epoch decision latency",
+                window_samples=DECISION_WINDOW,
+            ),
+            "streams": metrics.gauge("serve_streams", "admitted streams"),
+            "alive": metrics.gauge("serve_alive_servers", "servers up"),
+            "queue": metrics.gauge(
+                "serve_queue_depth", "events waiting in the queue"
+            ),
+            "hit_ratio": metrics.gauge(
+                "serve_cache_hit_ratio", "windowed cached/(cached+solved)"
+            ),
+            "benefit": metrics.gauge(
+                "serve_benefit", "current total system benefit"
+            ),
+            "baseline": metrics.gauge(
+                "serve_benefit_baseline", "rolling mean benefit (window)"
+            ),
+            "drop": metrics.gauge(
+                "serve_benefit_drop_ratio",
+                "relative drop of current benefit vs rolling baseline",
+            ),
+            "health": metrics.gauge(
+                "serve_health", "health state (0=ok, 1=degraded, 2=unhealthy)"
+            ),
+        }
+        self._slo_probe = (
+            None if monitor is None else self._build_slo_probe(monitor)
+        )
+        self._mcounts = (
+            None
+            if metrics is None
+            else {key: 0 for key in _COUNTER_KEYS}
+        )
+        self._mflushed = {key: 0 for key in _COUNTER_KEYS}
+        self._mpending = []
+        self._mpending_done = 0
+        if metrics is not None:
+            metrics.add_collect_hook(self._refresh_gauges)
+            self._observe(self.decisions[-1] if self.decisions else None)
+
+    def _build_slo_probe(self, monitor) -> Callable[[], dict]:
+        """Compile a minimal per-epoch snapshot for ``monitor``'s rules.
+
+        :meth:`health_snapshot` builds all 13 documented keys; the
+        attached rules typically read two.  This binds one getter per
+        *referenced* key (unknown metrics stay absent, so such rules
+        abstain — the same semantics as the full snapshot) and returns
+        a zero-arg callable the per-epoch path evaluates instead.
+        Closures don't pickle; checkpoints drop the probe and
+        :meth:`__setstate__` recompiles it from the monitor's rules.
+        """
+        needed = {rule.metric for rule in monitor.rules}
+        probes = [(k, g) for k, g in _SLO_GETTERS.items() if k in needed]
+
+        def probe() -> dict:
+            window = self._window
+            return {k: g(self, window) for k, g in probes}
+
+        return probe
+
+    def _observe(self, decision: ServeDecision | None) -> None:
+        """Per-epoch observability: event counters, histogram, SLO rules.
+
+        Hot path — one call per epoch; the ``test_metrics_overhead``
+        bench holds it under 2% of the serve loop.  Counter deltas and
+        latency samples land in plain Python state (no locks, no
+        registry calls) and flush on scrape; derived gauges refresh at
+        scrape time too (:meth:`_refresh_gauges`, a registry collect
+        hook).  ``serve_health`` is additionally bumped on alert edges
+        so the gauge moves with the event, and SLO rules run against
+        the compiled minimal probe, not the full snapshot.
+        """
+        if decision is None:
+            return
+        c = self._mcounts
+        if c is not None:
+            c["epochs"] += 1
+            if decision.full_solve:
+                c["full_solves"] += 1
+            c["cache_hits"] += decision.cache_hits
+            c["solved"] += decision.solved
+            if decision.rejected:
+                c["rejects"] += len(decision.rejected)
+            if decision.evicted:
+                c["evictions"] += len(decision.evicted)
+            self._mpending.append(decision.latency_s)
+            if len(self._mpending) >= _FLUSH_EVERY:
+                with self.metrics.lock:
+                    self._flush_metrics_locked(trim=True)
+        if self.monitor is not None:
+            snap_fn = self._slo_probe or self.health_snapshot
+            edges = self.monitor.evaluate(snap_fn(), epoch=decision.epoch)
+            for edge in edges:
+                self.alerts.append(dict(edge))
+                kind = edge.pop("event")
+                telemetry.counter(f"serve.{kind.replace('.', '_')}")
+                telemetry.event(kind, epoch=decision.epoch, **edge)
+            if self._mhandles is not None and edges:
+                from repro.obs.health import severity_rank
+
+                self._mhandles["health"].set(severity_rank(self.monitor.state))
+
+    def _flush_metrics_locked(self, *, trim: bool = False) -> None:
+        """Push accumulated counter deltas and latency samples.
+
+        Caller must hold the registry lock.  Counter totals are
+        monotone, so a delta missed by one flush (a racing increment)
+        is picked up by the next — nothing is lost or double-counted.
+        ``trim`` drops already-flushed samples from the pending list;
+        only the serve thread (the list's sole writer) may pass it.
+        """
+        h = self._mhandles
+        c = self._mcounts
+        if h is None or c is None:
+            return
+        flushed = self._mflushed
+        for key in _COUNTER_KEYS:
+            delta = c[key] - flushed[key]
+            if delta:
+                h[key].inc_locked(delta)
+                flushed[key] = c[key]
+        pending = self._mpending
+        done = self._mpending_done
+        n = len(pending)
+        if done < n:
+            observe = h["latency"].observe_locked
+            for value in pending[done:n]:
+                observe(value)
+            self._mpending_done = n
+        if trim:
+            del pending[: self._mpending_done]
+            self._mpending_done = 0
+
+    def _refresh_gauges(self) -> None:
+        """Scrape-time refresh (registry collect hook).
+
+        Runs on the scraper's thread whenever the registry is collected
+        (``/metrics``, ``/varz``, ``to_dict``): flushes the counter
+        accumulator, then recomputes derived gauges — so all of this
+        costs the serve loop nothing between scrapes.
+        """
+        h = self._mhandles
+        if h is None:
+            return
+        snap = self.health_snapshot()
+        with self.metrics.lock:
+            self._flush_metrics_locked()
+            h["streams"].set_locked(snap["n_streams"])
+            h["alive"].set_locked(snap["n_alive_servers"])
+            h["queue"].set_locked(snap["queue_depth"])
+            h["hit_ratio"].set_locked(snap["cache_hit_ratio"])
+            if snap["benefit"] is not None:
+                h["benefit"].set_locked(snap["benefit"])
+                h["baseline"].set_locked(snap["benefit_baseline"])
+                h["drop"].set_locked(snap["benefit_drop_ratio"])
+            if self.monitor is not None:
+                from repro.obs.health import severity_rank
+
+                h["health"].set_locked(severity_rank(self.monitor.state))
+
+    def health_snapshot(self) -> dict:
+        """Windowed SLO inputs: the dict :class:`HealthMonitor` rules see.
+
+        Percentiles and the benefit baseline come from the rolling
+        :data:`DECISION_WINDOW` — the same definition :meth:`summary`
+        and ``repro serve report`` use — so an alert threshold means
+        the same thing everywhere.
+        """
+        w = self._window
+        lat = w.lat_sorted
+        hits, solved = w.hits, w.solved
+        benefit = w.last_benefit
+        baseline = w.baseline
+        drop = 0.0
+        if benefit is not None and baseline is not None:
+            drop = max(0.0, (baseline - benefit) / max(abs(baseline), 1e-12))
+        snap: dict = {
+            "epoch": self.epoch,
+            "window": len(self._window),
+            "decision_p50_s": _pct(lat, 0.50),
+            "decision_p95_s": _pct(lat, 0.95),
+            "decision_p99_s": _pct(lat, 0.99),
+            "decision_max_s": lat[-1] if lat else 0.0,
+            "cache_hit_ratio": hits / (hits + solved) if hits + solved else 0.0,
+            "queue_depth": len(self.queue),
+            "n_streams": len(self.planner.entries),
+            "n_alive_servers": self.planner.n_alive,
+            "benefit": benefit,
+            "benefit_baseline": baseline,
+            "benefit_drop_ratio": drop if benefit is not None else None,
+        }
+        return snap
+
+    def health_status(self) -> dict:
+        """``/healthz`` document: monitor verdict plus the snapshot."""
+        doc = (
+            self.monitor.status()
+            if self.monitor is not None
+            else {"status": "ok", "alerts": [], "rules": []}
+        )
+        doc["snapshot"] = self.health_snapshot()
+        return doc
+
+    def varz(self) -> dict:
+        """``/varz`` service section: summary + snapshot + alert history."""
+        return {
+            "summary": self.summary(),
+            "snapshot": self.health_snapshot(),
+            "alerts_fired": sum(
+                1 for a in self.alerts if a.get("event") == "alert.fired"
+            ),
+            "recent_alerts": self.alerts[-10:],
+        }
 
     # -- monitoring loop (legacy OnlineScheduler semantics) ----------------
     def run_epochs(
@@ -605,20 +1022,59 @@ class SchedulerService:
             raise ValueError(f"{path} does not hold a {cls.__name__}")
         return service
 
+    # -- pickling ----------------------------------------------------------
+    def __getstate__(self) -> dict:
+        """Checkpoint state: drop the live metrics registry.
+
+        The registry owns locks and feeds an HTTP thread — neither
+        belongs in a checkpoint.  The :class:`HealthMonitor` (pure
+        state) and the alert history *do* pickle, so a resumed run
+        keeps its firing alerts; re-attach a registry with
+        :meth:`attach_observability` after :meth:`resume`.
+        """
+        state = self.__dict__.copy()
+        state["metrics"] = None
+        state["_mhandles"] = None
+        state["_slo_probe"] = None  # compiled closures don't pickle
+        state["_mcounts"] = None  # accumulator belongs to the registry
+        state["_mflushed"] = {}
+        state["_mpending"] = []
+        state["_mpending_done"] = 0
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        # Checkpoints written before live observability existed.
+        self.__dict__.setdefault("metrics", None)
+        self.__dict__.setdefault("monitor", None)
+        self.__dict__.setdefault("alerts", [])
+        self.__dict__.setdefault("_mhandles", None)
+        self.__dict__.setdefault("_mcounts", None)
+        self.__dict__.setdefault("_mflushed", {})
+        self.__dict__.setdefault("_mpending", [])
+        self.__dict__.setdefault("_mpending_done", 0)
+        self.__dict__["_slo_probe"] = (
+            None if self.monitor is None else self._build_slo_probe(self.monitor)
+        )
+        window = self.__dict__.get("_window")
+        if window is None:
+            self.__dict__["_window"] = _WindowStats(DECISION_WINDOW)
+        elif not isinstance(window, _WindowStats):
+            # Pre-refactor checkpoints stored a deque of entry tuples.
+            self.__dict__["_window"] = _WindowStats.from_entries(window)
+
     # -- summary -----------------------------------------------------------
     def summary(self) -> dict:
-        """Aggregate run statistics over all decisions so far."""
-        lat = sorted(d.latency_s for d in self.decisions)
+        """Aggregate run statistics over all decisions so far.
+
+        Counts are lifetime totals; the latency percentiles are the
+        *rolling-window* definition (last :data:`DECISION_WINDOW`
+        epochs) shared with :meth:`health_snapshot` and ``repro serve
+        report`` — lifetime percentiles go stale on hours-long runs,
+        reporting warm-up latencies forever.
+        """
+        lat = self._window.lat_sorted
         benefits = [d.benefit for d in self.decisions if d.benefit is not None]
-
-        def pct(q: float) -> float:
-            if not lat:
-                return 0.0
-            pos = q * (len(lat) - 1)
-            lo = int(pos)
-            hi = min(lo + 1, len(lat) - 1)
-            return lat[lo] * (1 - (pos - lo)) + lat[hi] * (pos - lo)
-
         return {
             "epochs": len(self.decisions),
             "full_solves": sum(1 for d in self.decisions if d.full_solve),
@@ -630,7 +1086,13 @@ class SchedulerService:
             "n_alive_servers": self.planner.n_alive,
             "benefit_first": benefits[0] if benefits else None,
             "benefit_last": benefits[-1] if benefits else None,
-            "decision_p50_s": pct(0.50),
-            "decision_p95_s": pct(0.95),
+            "decision_window": len(lat),
+            "decision_p50_s": _pct(lat, 0.50),
+            "decision_p95_s": _pct(lat, 0.95),
+            "decision_p99_s": _pct(lat, 0.99),
             "decision_max_s": lat[-1] if lat else 0.0,
+            "alerts_fired": sum(
+                1 for a in self.alerts if a.get("event") == "alert.fired"
+            ),
+            "health": self.monitor.state if self.monitor is not None else "ok",
         }

@@ -1,0 +1,189 @@
+"""Tests for repro.obs.exposition: Prometheus text + the HTTP endpoints."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs import MetricsRegistry, MetricsServer, render_prometheus
+from repro.obs.exposition import CONTENT_TYPE_LATEST
+
+
+def _get(url, path):
+    return urllib.request.urlopen(f"{url}{path}", timeout=5)
+
+
+class TestRenderPrometheus:
+    def test_empty_registry_empty_body(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+
+    def test_golden_output(self):
+        reg = MetricsRegistry(namespace="repro")
+        reg.counter("serve_epochs_total", "epoch decisions made").inc(3)
+        reg.gauge("serve_queue_depth", "events waiting").set(2)
+        h = reg.histogram(
+            "serve_decision_latency_seconds",
+            "per-epoch decision latency",
+            buckets=(0.01, 0.1),
+        )
+        # Dyadic values: the _sum line reprs exactly (0.5703125).
+        h.observe(0.0078125)
+        h.observe(0.0625)
+        h.observe(0.5)
+        assert render_prometheus(reg) == (
+            "# HELP repro_serve_decision_latency_seconds"
+            " per-epoch decision latency\n"
+            "# TYPE repro_serve_decision_latency_seconds histogram\n"
+            'repro_serve_decision_latency_seconds_bucket{le="0.01"} 1\n'
+            'repro_serve_decision_latency_seconds_bucket{le="0.1"} 2\n'
+            'repro_serve_decision_latency_seconds_bucket{le="+Inf"} 3\n'
+            "repro_serve_decision_latency_seconds_sum 0.5703125\n"
+            "repro_serve_decision_latency_seconds_count 3\n"
+            "# HELP repro_serve_epochs_total epoch decisions made\n"
+            "# TYPE repro_serve_epochs_total counter\n"
+            "repro_serve_epochs_total 3\n"
+            "# HELP repro_serve_queue_depth events waiting\n"
+            "# TYPE repro_serve_queue_depth gauge\n"
+            "repro_serve_queue_depth 2\n"
+        )
+
+    def test_no_help_line_when_help_empty(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        text = render_prometheus(reg)
+        assert "# HELP" not in text
+        assert "# TYPE repro_c counter" in text
+
+    def test_integer_values_render_without_decimal(self):
+        reg = MetricsRegistry()
+        reg.gauge("g").set(4.0)
+        assert "repro_g 4\n" in render_prometheus(reg)
+
+    def test_bucket_counts_are_cumulative_and_monotone(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h", buckets=(0.1, 1.0, 10.0))
+        for v in (0.05, 0.5, 5.0, 50.0):
+            h.observe(v)
+        counts = [
+            int(line.rsplit(" ", 1)[1])
+            for line in render_prometheus(reg).splitlines()
+            if "_bucket" in line
+        ]
+        assert counts == sorted(counts)
+        assert counts[-1] == 4
+
+
+class TestMetricsServer:
+    @pytest.fixture
+    def served(self):
+        reg = MetricsRegistry()
+        reg.counter("hits_total", "scrape fodder").inc(5)
+        health = {"status": "ok", "alerts": []}
+        server = MetricsServer(
+            reg,
+            health=lambda: dict(health),
+            varz=lambda: {"summary": {"epochs": 1}},
+        )
+        server.start()
+        yield server, reg, health
+        server.stop()
+
+    def test_metrics_route(self, served):
+        server, _, _ = served
+        with _get(server.url, "/metrics") as resp:
+            assert resp.status == 200
+            assert resp.headers["Content-Type"] == CONTENT_TYPE_LATEST
+            body = resp.read().decode()
+        assert "repro_hits_total 5" in body
+
+    def test_healthz_ok_and_unhealthy_codes(self, served):
+        server, _, health = served
+        with _get(server.url, "/healthz") as resp:
+            assert resp.status == 200
+            assert json.loads(resp.read())["status"] == "ok"
+        health["status"] = "unhealthy"
+        with pytest.raises(urllib.error.HTTPError) as exc_info:
+            _get(server.url, "/healthz")
+        assert exc_info.value.code == 503
+        assert json.loads(exc_info.value.read())["status"] == "unhealthy"
+
+    def test_healthz_degraded_is_200(self, served):
+        server, _, health = served
+        health["status"] = "degraded"
+        with _get(server.url, "/healthz") as resp:
+            assert resp.status == 200
+
+    def test_varz_combines_metrics_health_service(self, served):
+        server, _, _ = served
+        with _get(server.url, "/varz") as resp:
+            doc = json.loads(resp.read())
+        assert doc["metrics"]["repro_hits_total"]["value"] == 5
+        assert doc["health"]["status"] == "ok"
+        assert doc["service"]["summary"]["epochs"] == 1
+
+    def test_unknown_route_404(self, served):
+        server, _, _ = served
+        with pytest.raises(urllib.error.HTTPError) as exc_info:
+            _get(server.url, "/nope")
+        assert exc_info.value.code == 404
+
+    def test_broken_varz_fn_is_500_not_crash(self):
+        reg = MetricsRegistry()
+        with MetricsServer(reg, varz=lambda: 1 / 0) as server:
+            with pytest.raises(urllib.error.HTTPError) as exc_info:
+                _get(server.url, "/varz")
+            assert exc_info.value.code == 500
+            # The server survives: the next scrape still works.
+            with _get(server.url, "/metrics") as resp:
+                assert resp.status == 200
+
+    def test_ephemeral_port_and_idempotent_lifecycle(self):
+        server = MetricsServer(MetricsRegistry())
+        port = server.start()
+        assert port > 0
+        assert server.start() == port
+        server.stop()
+        server.stop()
+
+    def test_concurrent_scrape_while_updating(self):
+        """Scrapes racing writer threads stay well-formed and monotone."""
+        reg = MetricsRegistry()
+        c = reg.counter("work_total")
+        h = reg.histogram("lat_seconds", buckets=(0.001, 0.01, 0.1))
+        stop = threading.Event()
+
+        def writer():
+            while not stop.is_set():
+                c.inc()
+                h.observe(0.002)
+
+        threads = [threading.Thread(target=writer) for _ in range(4)]
+        for th in threads:
+            th.start()
+        try:
+            with MetricsServer(reg) as server:
+                last_count = -1.0
+                for _ in range(20):
+                    with _get(server.url, "/metrics") as resp:
+                        body = resp.read().decode()
+                    sample = {}
+                    for line in body.splitlines():
+                        if line.startswith("#"):
+                            continue
+                        key, val = line.rsplit(" ", 1)
+                        sample[key] = float(val)
+                    # Counter never goes backwards across scrapes.
+                    assert sample["repro_work_total"] >= last_count
+                    last_count = sample["repro_work_total"]
+                    # Histogram count equals its +Inf cumulative bucket:
+                    # the scrape saw one consistent point-in-time view.
+                    assert (
+                        sample['repro_lat_seconds_bucket{le="+Inf"}']
+                        == sample["repro_lat_seconds_count"]
+                    )
+        finally:
+            stop.set()
+            for th in threads:
+                th.join()

@@ -1,0 +1,114 @@
+"""Tests for JsonlSink size-based rotation and segment reconstruction."""
+
+import json
+
+import pytest
+
+from repro.obs import JsonlSink, Telemetry
+from repro.obs.sinks import iter_jsonl_records, jsonl_segments
+from repro.obs.trace import load_events
+
+
+def _emit_n(sink, n, start=0):
+    for i in range(start, start + n):
+        sink.emit({"event": "tick", "i": i})
+
+
+class TestRotation:
+    def test_no_rotation_by_default(self, tmp_path):
+        sink = JsonlSink(tmp_path / "run.jsonl")
+        _emit_n(sink, 100)
+        sink.close()
+        assert sink.rotations == 0
+        assert jsonl_segments(tmp_path / "run.jsonl") == [tmp_path / "run.jsonl"]
+
+    def test_rotates_at_size_limit(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        sink = JsonlSink(path, max_bytes=200, backup_count=3)
+        _emit_n(sink, 30)
+        sink.close()
+        assert sink.rotations > 0
+        assert (tmp_path / "run.jsonl.1").exists()
+        # Every segment respects the cap.
+        for seg in jsonl_segments(path):
+            assert seg.stat().st_size <= 200
+
+    def test_backup_count_caps_segments(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        sink = JsonlSink(path, max_bytes=120, backup_count=2)
+        _emit_n(sink, 60)
+        sink.close()
+        segments = jsonl_segments(path)
+        assert len(segments) <= 3  # .2, .1, base
+        assert not (tmp_path / "run.jsonl.3").exists()
+
+    def test_backup_count_zero_truncates_in_place(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        sink = JsonlSink(path, max_bytes=120, backup_count=0)
+        _emit_n(sink, 60)
+        sink.close()
+        assert sink.rotations > 0
+        assert jsonl_segments(path) == [path]
+        assert path.stat().st_size <= 120
+
+    def test_oversize_single_record_still_written(self, tmp_path):
+        # A record bigger than max_bytes rotates then writes anyway:
+        # the limit bounds segments, it never drops data.
+        path = tmp_path / "run.jsonl"
+        sink = JsonlSink(path, max_bytes=64, backup_count=1)
+        sink.emit({"event": "big", "blob": "x" * 200})
+        sink.emit({"event": "after"})
+        sink.close()
+        recs = list(iter_jsonl_records(path))
+        assert [r["event"] for r in recs] == ["big", "after"]
+
+    def test_validates_args(self, tmp_path):
+        with pytest.raises(ValueError, match="max_bytes"):
+            JsonlSink(tmp_path / "x.jsonl", max_bytes=-1)
+        with pytest.raises(ValueError, match="backup_count"):
+            JsonlSink(tmp_path / "x.jsonl", backup_count=-1)
+
+
+class TestReconstruction:
+    def test_segments_ordered_oldest_first(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        sink = JsonlSink(path, max_bytes=150, backup_count=5)
+        _emit_n(sink, 40)
+        sink.close()
+        order = [
+            rec["i"] for rec in iter_jsonl_records(path)
+        ]
+        # Rotation must not reorder or duplicate the retained suffix.
+        assert order == list(range(order[0], 40))
+
+    def test_missing_base_reads_numbered_segments(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        (tmp_path / "run.jsonl.1").write_text(
+            json.dumps({"event": "old"}) + "\n"
+        )
+        assert [r["event"] for r in iter_jsonl_records(path)] == ["old"]
+
+    def test_tolerates_torn_and_blank_lines(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        path.write_text('{"event": "a"}\n\n{"event": "b"\n{"event": "c"}\n')
+        assert [r["event"] for r in iter_jsonl_records(path)] == ["a", "c"]
+
+    def test_no_segments_is_empty_iter(self, tmp_path):
+        assert list(iter_jsonl_records(tmp_path / "ghost.jsonl")) == []
+        assert jsonl_segments(tmp_path / "ghost.jsonl") == []
+
+    def test_trace_load_events_spans_rotation(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        tel = Telemetry()
+        tel.enable(JsonlSink(path, max_bytes=400, backup_count=30))
+        for i in range(50):
+            tel.event("work", i=i)
+        tel.disable()
+        assert (tmp_path / "run.jsonl.1").exists()
+        events = load_events(path)
+        idx = [e["i"] for e in events if e.get("event") == "work"]
+        assert idx == list(range(50))
+
+    def test_trace_load_events_missing_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_events(tmp_path / "ghost.jsonl")

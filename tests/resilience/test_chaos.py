@@ -193,3 +193,85 @@ class TestChaosCli:
             ]
         )
         assert rc == 0
+
+
+class TestChaosAlerts:
+    """An injected fault must trip the shared alert machinery."""
+
+    def _run(self, monitor, plan_specs=("crash:1@0.5", "recover:1@2.0")):
+        from repro.baselines import make_scheduler
+
+        prob = _problem()
+        pref = make_preference(prob)
+        plan = FaultPlan.from_specs(list(plan_specs))
+
+        def factory(p):
+            return make_scheduler("greedy", p, preference=pref, rng=0)
+
+        return ChaosRunner(
+            prob, plan, factory, preference=pref, monitor=monitor
+        ).run()
+
+    def test_server_crash_fires_and_recovery_resolves(self):
+        from repro.obs import HealthMonitor, SloRule
+
+        monitor = HealthMonitor(
+            [SloRule(metric="n_servers", op=">=", threshold=4.0)]
+        )
+        telemetry.reset()
+        telemetry.enable(MemorySink())
+        try:
+            report = self._run(monitor)
+            records = list(telemetry.sink.records)
+        finally:
+            telemetry.disable()
+            telemetry.reset()
+        kinds = [a["event"] for a in report.alerts]
+        assert kinds == ["alert.fired", "alert.resolved"]
+        assert report.alerts_fired == 1
+        assert report.alerts[0]["since_epoch"] == 0
+        # The same edges land in telemetry, tagged with the fault time.
+        emitted = [r for r in records if r["event"].startswith("alert.")]
+        assert [r["event"] for r in emitted] == kinds
+        assert emitted[0]["time"] == 0.5
+        assert report.to_dict()["alerts_fired"] == 1
+
+    def test_benefit_drop_rule_abstains_without_schedule(self):
+        from repro.obs import HealthMonitor, SloRule
+
+        # Crashing every server leaves no schedule: benefit is None, so
+        # the drop rule abstains instead of firing on garbage.
+        monitor = HealthMonitor(
+            [SloRule(metric="benefit_drop_ratio", op="<=", threshold=0.5)]
+        )
+        report = self._run(
+            monitor,
+            plan_specs=[f"crash:{j}@1.0" for j in range(4)],
+        )
+        assert report.alerts == []
+
+    def test_no_monitor_no_alerts(self):
+        report = self._run(None)
+        assert report.alerts == []
+        assert report.alerts_fired == 0
+
+    def test_cli_max_drop_builds_monitor(self, capsys):
+        rc = main(
+            [
+                "chaos",
+                "--streams", "3",
+                "--servers", "3",
+                "--method", "random",
+                "--seed", "0",
+                "--faults", "crash:1@0.5,recover:1@2.0",
+                "--max-drop", "0.0",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "alerts" in out
+        # A zero budget either passes exactly (drop == 0, no alert) or
+        # fires the benefit_drop rule and fails the gate.
+        if rc == 1:
+            assert "alert.fired: benefit_drop" in out
+        else:
+            assert rc == 0
