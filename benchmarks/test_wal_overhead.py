@@ -1,0 +1,162 @@
+"""Guard: the write-ahead journal must add <2% to serve epoch cost.
+
+The WAL sits on the per-event and per-epoch hot path (one JSON line
+per submitted event, one fingerprinted line per decision, batched
+fsync), so durability has a hard budget against the production serve
+configuration — the paper-scale churn workload with periodic full
+re-optimization (``reoptimize_every=8``, the CLI's documented drift
+correction), which is what the recovery-smoke CI job journals.
+
+Paired wall-clock runs cannot resolve a few-millisecond signal on a
+shared host (run-to-run variance exceeds the budget itself), so the
+gate uses the same low-noise methodology as the telemetry-overhead
+guard: count the journal operations a real run performs, measure each
+operation's cost in a tight loop (minimum over repetitions — the
+standard low-noise estimator), and assert ops x per-op cost stays
+under 2% of the best-of-3 run wall-clock.  A second benchmark pins the
+recovery path: replaying the journal reproduces the run bit-identically
+at benchmark scale.
+"""
+
+import time
+
+import numpy as np
+from conftest import run_once
+
+from repro.core.problem import EVAProblem
+from repro.serve import (
+    ChurnProfile,
+    SchedulerService,
+    WriteAheadLog,
+    approx_preference,
+    build_service,
+    recover_service,
+    service_spec,
+)
+from repro.serve.loadgen import generate_load
+
+N_STREAMS = 40
+N_SERVERS = 10
+REOPTIMIZE_EVERY = 8
+PROFILE = ChurnProfile(
+    hours=0.2,
+    arrivals_per_hour=600,
+    departures_per_hour=400,
+    drifts_per_hour=120,
+    flaps_per_hour=10,
+)
+
+
+def _events():
+    return generate_load(N_STREAMS, N_SERVERS, profile=PROFILE, seed=0).events
+
+
+def _service():
+    rng = np.random.default_rng(0)
+    problem = EVAProblem(
+        N_STREAMS,
+        rng.choice([10.0, 15.0, 20.0, 25.0], size=N_SERVERS),
+        textures=rng.uniform(0.7, 1.3, size=N_STREAMS),
+    )
+    return SchedulerService(
+        problem,
+        preference=approx_preference(problem),
+        reoptimize_every=REOPTIMIZE_EVERY,
+    )
+
+
+def test_wal_overhead(benchmark, tmp_path):
+    def run():
+        events = _events()
+        run_s = float("inf")
+        service = None
+        for _ in range(3):
+            service = _service()
+            t0 = time.perf_counter()
+            service.submit(list(events))
+            service.start()
+            service.run()
+            run_s = min(run_s, time.perf_counter() - t0)
+        n_epochs = len(service.decisions)
+
+        # Per-op costs, tight loops, minimum of 3 repetitions each.
+        wal = WriteAheadLog.create(
+            tmp_path / "cost.wal",
+            service_spec(n_streams=N_STREAMS, bandwidths_mbps=[1.0]),
+        )
+        sig_s = ev_s = ep_s = float("inf")
+        for _ in range(3):
+            t0 = time.perf_counter()
+            for d in service.decisions:
+                d.sig_hash()
+            sig_s = min(sig_s, (time.perf_counter() - t0) / n_epochs)
+            t0 = time.perf_counter()
+            for i, e in enumerate(events):
+                wal.append_event(i + 1, e)
+            ev_s = min(ev_s, (time.perf_counter() - t0) / len(events))
+            t0 = time.perf_counter()
+            for i in range(n_epochs):
+                wal.append_epoch(
+                    epoch=i, mode="normal", full=False, sig="ab" * 8
+                )
+            ep_s = min(ep_s, (time.perf_counter() - t0) / n_epochs)
+        wal.close()
+
+        overhead_s = n_epochs * (sig_s + ep_s) + len(events) * ev_s
+        return run_s, overhead_s, n_epochs, len(events), sig_s
+
+    run_s, overhead_s, n_epochs, n_events, sig_s = run_once(benchmark, run)
+    ratio = overhead_s / run_s
+    print()
+    print(
+        f"serve run ({N_STREAMS} streams, {n_epochs} epochs, "
+        f"{n_events} events, reoptimize_every={REOPTIMIZE_EVERY}): "
+        f"{run_s:.3f}s; journaling {overhead_s * 1e3:.2f} ms "
+        f"(sig {sig_s * 1e6:.1f} us/epoch) = {100 * ratio:.2f}% (budget: 2%)"
+    )
+    assert n_epochs > 50, "churn profile produced too few epochs to measure"
+    assert ratio < 0.02, (
+        f"WAL adds {100 * ratio:.2f}% to a churny serve run (budget: 2%)"
+    )
+
+
+def test_wal_recovery_at_scale(benchmark, tmp_path):
+    """The benchmark-scale run recovers bit-identically from its WAL."""
+
+    def run():
+        wal_path = tmp_path / "scale.wal"
+        spec = service_spec(
+            n_streams=N_STREAMS,
+            bandwidths_mbps=list(
+                np.random.default_rng(0).choice(
+                    [10.0, 15.0, 20.0, 25.0], size=N_SERVERS
+                )
+            ),
+        )
+        golden = build_service(spec)
+        with WriteAheadLog.create(wal_path, spec) as wal:
+            golden.attach_wal(wal)
+            golden.submit(_events())
+            golden.start()
+            golden.run()
+        t0 = time.perf_counter()
+        recovered, info = recover_service(wal_path)
+        recovered.run()
+        recover_s = time.perf_counter() - t0
+        mismatches = info.verify(recovered)
+        return (
+            mismatches,
+            len(golden.decisions),
+            [d.sig_hash() for d in golden.decisions]
+            == [d.sig_hash() for d in recovered.decisions],
+            recover_s,
+        )
+
+    mismatches, epochs, identical, recover_s = run_once(benchmark, run)
+    print()
+    print(
+        f"recovered {epochs} epochs in {recover_s:.3f}s, "
+        f"{len(mismatches)} journal mismatches"
+    )
+    assert mismatches == []
+    assert identical, "recovered decision sequence diverged from golden"

@@ -718,6 +718,11 @@ def _churn_profile(args: argparse.Namespace):
         departures_per_hour=args.departures_per_hour,
         drifts_per_hour=args.drifts_per_hour,
         flaps_per_hour=args.flaps_per_hour,
+        burst_start_s=getattr(args, "burst_start", None),
+        burst_duration_s=getattr(args, "burst_duration", 120.0),
+        burst_multiplier=getattr(args, "burst_multiplier", 1.0),
+        diurnal_amplitude=getattr(args, "diurnal_amplitude", 0.0),
+        diurnal_period_s=getattr(args, "diurnal_period", 3600.0),
     )
 
 
@@ -749,6 +754,67 @@ def _cmd_serve_loadgen(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_hardening(args: argparse.Namespace):
+    """Build admission/breaker/remediation (+ brownout SLO rules) from flags.
+
+    Returns ``(admission, breaker, remediation, brownout_rules)`` with
+    ``None`` for pieces no flag asked for, so a flagless run keeps the
+    exact pre-hardening behavior.  Raises ``ValueError`` on bad specs.
+    """
+    from repro.serve import AdmissionController, parse_priority_map
+    from repro.serve.service import RemediationPolicy
+
+    admission = None
+    priority_map: dict[int, int] = {}
+    default_priority = 0
+    if args.priority_map:
+        priority_map, default_priority = parse_priority_map(args.priority_map)
+    if (
+        args.priority_map
+        or args.join_rate is not None
+        or args.max_queue_depth is not None
+    ):
+        admission = AdmissionController(
+            priority_map=priority_map,
+            default_priority=default_priority,
+            join_rate_per_epoch=args.join_rate,
+            join_burst=args.join_burst,
+            max_queue_depth=args.max_queue_depth,
+            protect_priority=args.protect_priority,
+        )
+    breaker = None
+    if args.breaker or args.breaker_deadline is not None:
+        from repro.resilience import CircuitBreaker
+
+        breaker = CircuitBreaker(
+            failure_threshold=args.breaker_failures,
+            cooldown_epochs=args.breaker_cooldown,
+            probe_successes=args.breaker_probes,
+            deadline_s=args.breaker_deadline,
+        )
+    remediation = None
+    brownout_rules = []
+    if args.brownout_slo:
+        from repro.obs import SloRule
+        from repro.obs.health import severity_rank
+
+        try:
+            brownout_rules = [SloRule.parse(s) for s in args.brownout_slo]
+        except ValueError as exc:
+            raise ValueError(f"bad --brownout-slo rule: {exc}") from exc
+        # Remediation is severity-thresholded: brownout triggers at the
+        # lowest severity any --brownout-slo rule can fire at.
+        floor = min((r.severity for r in brownout_rules), key=severity_rank)
+        remediation = RemediationPolicy(brownout_severity=floor)
+    return admission, breaker, remediation, brownout_rules
+
+
+def _rule_spec(rule) -> str:
+    """Round-trippable string for an SloRule (keeps a custom name)."""
+    spec = rule.spec()
+    return spec if rule.name == spec else f"{rule.name}: {spec}"
+
+
 def _cmd_serve_run(args: argparse.Namespace) -> int:
     from repro.core import EVAProblem
     from repro.obs import telemetry
@@ -769,6 +835,12 @@ def _cmd_serve_run(args: argparse.Namespace) -> int:
         except (OSError, ValueError, KeyError) as exc:
             print(f"error: cannot load {args.events}: {exc}", file=sys.stderr)
             return 2
+    try:
+        admission, breaker, remediation, brownout_rules = _serve_hardening(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    wal_spec = None
     if args.resume:
         from repro.resilience.checkpoint import load_checkpoint  # noqa: F401
 
@@ -777,6 +849,13 @@ def _cmd_serve_run(args: argparse.Namespace) -> int:
         except (OSError, ValueError, EOFError, pickle.UnpicklingError) as exc:
             print(f"error: cannot resume from {args.resume}: {exc}", file=sys.stderr)
             return 2
+        # Hardening flags override the pickled configuration when given.
+        if admission is not None:
+            service.admission = admission
+        if breaker is not None:
+            service.breaker = breaker
+        if remediation is not None:
+            service.remediation = remediation
         print(
             f"resuming serve run from {args.resume} "
             f"(epoch {service.epoch}, {len(service.planner.entries)} streams, "
@@ -809,10 +888,35 @@ def _cmd_serve_run(args: argparse.Namespace) -> int:
                 scheduler_factory=factory,
                 epoch_s=args.epoch,
                 reoptimize_every=args.reoptimize_every,
+                admission=admission,
+                breaker=breaker,
+                remediation=remediation,
             )
         except ValueError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
+        if args.wal:
+            from repro.serve import service_spec
+
+            wal_spec = service_spec(
+                n_streams=n_streams,
+                bandwidths_mbps=bw,
+                seed=args.seed,
+                method=args.method,
+                weights=weights,
+                epoch_s=args.epoch,
+                reoptimize_every=args.reoptimize_every,
+                admission=None if admission is None else admission.snapshot(),
+                breaker=None if breaker is None else {
+                    "failure_threshold": breaker.failure_threshold,
+                    "cooldown_epochs": breaker.cooldown_epochs,
+                    "probe_successes": breaker.probe_successes,
+                    "deadline_s": breaker.deadline_s,
+                },
+                remediation=(
+                    None if remediation is None else remediation.to_dict()
+                ),
+            )
         if log is None:
             log = generate_load(
                 n_streams, n_servers, profile=_churn_profile(args), seed=args.seed
@@ -840,18 +944,22 @@ def _cmd_serve_run(args: argparse.Namespace) -> int:
     metrics_server = None
     slo_specs = getattr(args, "slo", None)
     want_metrics = getattr(args, "metrics_port", None) is not None
-    if want_metrics or slo_specs:
+    attached_rules = None
+    if want_metrics or slo_specs or brownout_rules:
         from repro.obs import HealthMonitor, SloRule, default_rules
 
         try:
-            rules = (
-                [SloRule.parse(spec) for spec in slo_specs]
-                if slo_specs
-                else default_rules()
-            )
+            if slo_specs:
+                rules = [SloRule.parse(spec) for spec in slo_specs]
+            elif want_metrics:
+                rules = default_rules()
+            else:
+                rules = []  # --brownout-slo alone: just those rules
         except ValueError as exc:
             print(f"error: bad --slo rule: {exc}", file=sys.stderr)
             return 2
+        rules = rules + brownout_rules
+        attached_rules = rules
         # --slo alone still attaches a monitor: alerts land in telemetry
         # (alert.fired/resolved events) without the HTTP endpoint.
         registry = None
@@ -885,6 +993,35 @@ def _cmd_serve_run(args: argparse.Namespace) -> int:
             f"{metrics_server.url}/healthz · {metrics_server.url}/varz"
         )
         print(f"watch live with: repro serve top --port {port}")
+    wal = None
+    if getattr(args, "wal", ""):
+        if err := _check_writable(args.wal):
+            print(f"error: cannot write WAL: {err}", file=sys.stderr)
+            return 2
+        from repro.serve import WriteAheadLog
+
+        if args.resume:
+            wal = WriteAheadLog.open(args.wal)
+        else:
+            if attached_rules is not None:
+                wal_spec["slo"] = [_rule_spec(r) for r in attached_rules]
+            wal = WriteAheadLog.create(args.wal, wal_spec)
+        service.attach_wal(wal)
+        print(f"write-ahead log: {args.wal}")
+    # Graceful shutdown: SIGTERM/SIGINT drain the epoch in flight, write
+    # the final checkpoint, sync the WAL, and exit 0.  Install before
+    # run() so the whole drain is covered; restore on the way out.
+    import signal as _signal
+
+    def _graceful(signum, frame):  # noqa: ARG001 — signal handler shape
+        service.request_stop()
+
+    old_handlers = {}
+    for signum in (_signal.SIGTERM, _signal.SIGINT):
+        try:
+            old_handlers[signum] = _signal.signal(signum, _graceful)
+        except (OSError, ValueError):  # non-main thread / exotic embedder
+            pass
     try:
         try:
             with telemetry.span("cli.serve"):
@@ -902,6 +1039,13 @@ def _cmd_serve_run(args: argparse.Namespace) -> int:
             print(f"error: schedule became infeasible: {exc}", file=sys.stderr)
             return 1
     finally:
+        for signum, handler in old_handlers.items():
+            try:
+                _signal.signal(signum, handler)
+            except (OSError, ValueError):
+                pass
+        if wal is not None:
+            wal.close()
         if telemetry_path:
             telemetry.emit_summary(command="serve.run", seed=args.seed)
             telemetry.disable()
@@ -920,6 +1064,12 @@ def _cmd_serve_run(args: argparse.Namespace) -> int:
         f"re-solved {s['solved']}   rejects {s['rejected']}   "
         f"evicted {s['evicted']}"
     )
+    if s["shed"] or s["brownout_epochs"] or s["breaker_opens"]:
+        print(
+            f"  shed {s['shed']}   brownout epochs {s['brownout_epochs']}   "
+            f"breaker {s['breaker_state'] or 'off'} "
+            f"(opened {s['breaker_opens']}x)"
+        )
     print(
         f"  decision latency p50 {s['decision_p50_s'] * 1e3:.3f} ms   "
         f"p95 {s['decision_p95_s'] * 1e3:.3f} ms   "
@@ -943,6 +1093,85 @@ def _cmd_serve_run(args: argparse.Namespace) -> int:
             f"inspect with: repro serve report {telemetry_path} "
             f"(or repro report / repro trace)"
         )
+    return 0
+
+
+def _cmd_serve_recover(args: argparse.Namespace) -> int:
+    from repro.obs import telemetry
+    from repro.sched.grouping import InfeasibleScheduleError
+    from repro.serve import recover_service
+
+    try:
+        service, info = recover_service(
+            args.wal, checkpoint=args.checkpoint or None
+        )
+    except (OSError, ValueError, EOFError, pickle.UnpicklingError) as exc:
+        print(f"error: cannot recover from {args.wal}: {exc}", file=sys.stderr)
+        return 2
+    source = (
+        f"checkpoint {args.checkpoint} (seq {info.start_seq})"
+        if info.from_checkpoint
+        else "WAL meta record (fresh rebuild)"
+    )
+    print(f"recovering from {source}")
+    print(
+        f"  replaying {info.replayed_events} journaled events "
+        f"({info.torn_lines} torn tail lines dropped)"
+    )
+    telemetry_path = getattr(args, "telemetry", "") or ""
+    if telemetry_path:
+        if err := _check_writable(telemetry_path):
+            print(f"error: cannot write telemetry log: {err}", file=sys.stderr)
+            return 2
+        from repro.obs import JsonlSink
+
+        telemetry.enable(JsonlSink(telemetry_path))
+    try:
+        try:
+            with telemetry.span("cli.serve.recover"):
+                if not service.started:
+                    service.start()
+                service.run(checkpoint_path=args.save_checkpoint or None)
+        except InfeasibleScheduleError as exc:
+            print(f"error: schedule became infeasible: {exc}", file=sys.stderr)
+            return 1
+    finally:
+        if telemetry_path:
+            telemetry.emit_summary(command="serve.recover", seed=0)
+            telemetry.disable()
+    s = service.summary()
+    print(
+        f"recovered run: {s['epochs']} epochs total, "
+        f"{s['n_streams']} streams, benefit "
+        + (
+            f"{s['benefit_last']:+.4f}"
+            if s["benefit_last"] is not None
+            else "n/a"
+        )
+    )
+    mismatches = info.verify(service)
+    verified = len(info.recorded) - len(mismatches)
+    if mismatches:
+        print(
+            f"FAIL: {len(mismatches)} of {len(info.recorded)} journaled "
+            f"epochs diverged from the recovered decisions:",
+            file=sys.stderr,
+        )
+        for m in mismatches[:10]:
+            print(
+                f"  epoch {m['epoch']}: recorded {m['expected']}, "
+                f"got {m['actual']}",
+                file=sys.stderr,
+            )
+        return 1
+    print(
+        f"recovery verified: {verified} journaled epochs bit-identical "
+        f"to the original run"
+    )
+    if telemetry_path:
+        print(f"telemetry events written to {telemetry_path}")
+    if args.save_checkpoint:
+        print(f"  checkpoint written to {args.save_checkpoint}")
     return 0
 
 
@@ -988,6 +1217,19 @@ def _cmd_serve_report(args: argparse.Namespace) -> int:
         print(
             f"p95 decision latency {summary.decision_p95_s:.4f}s within "
             f"--max-p95 {args.max_p95:g}s"
+        )
+    if getattr(args, "max_drop", None) is not None:
+        drop = summary.benefit_drop_ratio
+        if not summary.gate_drop(args.max_drop):
+            shown = "n/a" if drop is None else f"{drop:.1%}"
+            print(
+                f"FAIL: benefit drop {shown} exceeds "
+                f"--max-drop {args.max_drop:.1%}",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"benefit drop {drop:.1%} within --max-drop {args.max_drop:.1%}"
         )
     return 0
 
@@ -1218,6 +1460,27 @@ def _add_churn_args(p: argparse.ArgumentParser) -> None:
         "--flaps-per-hour", type=float, default=2.0, metavar="RATE",
         help="server down/up flaps per simulated hour (default: 2)",
     )
+    p.add_argument(
+        "--burst-start", type=float, default=None, metavar="SECONDS",
+        help="flash crowd: arrival rate multiplies by --burst-multiplier "
+        "from this simulated time (default: no burst)",
+    )
+    p.add_argument(
+        "--burst-duration", type=float, default=120.0, metavar="SECONDS",
+        help="flash-crowd window length (default: 120)",
+    )
+    p.add_argument(
+        "--burst-multiplier", type=float, default=1.0, metavar="X",
+        help="arrival-rate multiplier inside the burst window (default: 1)",
+    )
+    p.add_argument(
+        "--diurnal-amplitude", type=float, default=0.0, metavar="A",
+        help="sinusoidal arrival swing amplitude in [0, 1) (default: 0)",
+    )
+    p.add_argument(
+        "--diurnal-period", type=float, default=3600.0, metavar="SECONDS",
+        help="diurnal cycle period (default: 3600)",
+    )
 
 
 def _register_serve(sub) -> None:
@@ -1338,7 +1601,123 @@ def _register_serve(sub) -> None:
         help="resume a serve run from a checkpoint (ignores problem flags; "
         "--events adds more churn)",
     )
+    p_run.add_argument(
+        "--wal",
+        type=str,
+        default="",
+        metavar="PATH",
+        help="write-ahead event journal; with --checkpoint this makes the "
+        "run recoverable after SIGKILL via `repro serve recover`",
+    )
+    p_run.add_argument(
+        "--priority-map",
+        type=str,
+        default="",
+        metavar="SPEC",
+        help="per-stream priority classes 'sid=prio,...,default=P' "
+        "(higher = more important); enables benefit-aware eviction of "
+        "strictly lower classes when capacity runs out",
+    )
+    p_run.add_argument(
+        "--join-rate",
+        type=float,
+        default=None,
+        metavar="RATE",
+        help="token-bucket join guard: sustained admissions per epoch "
+        "(excess joins are shed; default: unlimited)",
+    )
+    p_run.add_argument(
+        "--join-burst",
+        type=float,
+        default=None,
+        metavar="N",
+        help="token-bucket burst capacity (default: 2x --join-rate)",
+    )
+    p_run.add_argument(
+        "--max-queue-depth",
+        type=int,
+        default=None,
+        metavar="N",
+        help="shed joins while the event backlog exceeds N "
+        "(default: no limit)",
+    )
+    p_run.add_argument(
+        "--protect-priority",
+        type=int,
+        default=None,
+        metavar="P",
+        help="joins at or above this class bypass queue-depth/remediation "
+        "shedding (default: shed every class)",
+    )
+    p_run.add_argument(
+        "--breaker",
+        action="store_true",
+        help="enable the full-solve circuit breaker (exception failures "
+        "only unless --breaker-deadline is set)",
+    )
+    p_run.add_argument(
+        "--breaker-deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="full-solve duration budget; breaches count as breaker "
+        "failures (implies --breaker)",
+    )
+    p_run.add_argument(
+        "--breaker-failures",
+        type=int,
+        default=3,
+        metavar="N",
+        help="consecutive failures that open the breaker (default: 3)",
+    )
+    p_run.add_argument(
+        "--breaker-cooldown",
+        type=int,
+        default=8,
+        metavar="N",
+        help="epochs the breaker stays open before probing (default: 8)",
+    )
+    p_run.add_argument(
+        "--breaker-probes",
+        type=int,
+        default=1,
+        metavar="N",
+        help="successful half-open probes needed to re-close (default: 1)",
+    )
+    p_run.add_argument(
+        "--brownout-slo",
+        action="append",
+        default=None,
+        metavar="RULE",
+        help="SLO rule (same grammar as --slo) whose alert drops the "
+        "service into brownout until it resolves (repeatable)",
+    )
     p_run.set_defaults(func=_cmd_serve_run)
+
+    p_rec = serve_sub.add_parser(
+        "recover",
+        help="rebuild a crashed serve run from checkpoint + WAL and "
+        "verify bit-identity against the journal",
+    )
+    p_rec.add_argument(
+        "--wal", type=str, required=True, metavar="PATH",
+        help="write-ahead journal from the crashed `serve run --wal`",
+    )
+    p_rec.add_argument(
+        "--checkpoint", type=str, default="", metavar="CKPT",
+        help="the crashed run's checkpoint (skips already-absorbed "
+        "events; default: rebuild from the WAL meta record)",
+    )
+    p_rec.add_argument(
+        "--save-checkpoint", type=str, default="", metavar="PATH",
+        help="write the recovered service state here when done",
+    )
+    p_rec.add_argument(
+        "--telemetry", type=str, default="", metavar="PATH",
+        help="write the recovered run's JSONL telemetry (for "
+        "`repro serve report`)",
+    )
+    p_rec.set_defaults(func=_cmd_serve_recover)
 
     p_gen = serve_sub.add_parser(
         "loadgen", help="generate a seeded churn event log"
@@ -1408,6 +1787,14 @@ def _register_serve(sub) -> None:
         default=None,
         metavar="SECONDS",
         help="fail (exit 1) if p95 decision latency exceeds this budget",
+    )
+    p_rep.add_argument(
+        "--max-drop",
+        type=float,
+        default=None,
+        metavar="RATIO",
+        help="fail (exit 1) if benefit dropped by more than this fraction "
+        "of the warm-up benefit over the run (overload gate)",
     )
     p_rep.set_defaults(func=_cmd_serve_report)
 

@@ -17,9 +17,13 @@ away.  This package makes those regimes *testable* and *survivable*:
   crashed run bit-identically;
 * :mod:`repro.resilience.retry` — :class:`RetryPolicy` (bounded
   retries, exponential backoff, per-arm timeout) consumed by
-  :func:`repro.bench.parallel.run_parallel`.
+  :func:`repro.bench.parallel.run_parallel`;
+* :mod:`repro.resilience.breaker` — :class:`CircuitBreaker`
+  (closed/open/half-open) guarding the serve loop's full-solve path;
+  open = brownout operation until half-open probes pass.
 """
 
+from repro.resilience.breaker import BREAKER_STATES, CircuitBreaker
 from repro.resilience.faults import (
     FAULT_KINDS,
     FaultEvent,
@@ -35,6 +39,8 @@ from repro.resilience.checkpoint import (
 from repro.resilience.chaos import ChaosReport, ChaosRunner, EpochResult
 
 __all__ = [
+    "BREAKER_STATES",
+    "CircuitBreaker",
     "FAULT_KINDS",
     "FaultEvent",
     "FaultPlan",

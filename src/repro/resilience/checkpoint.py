@@ -9,9 +9,10 @@ the incumbent, and — crucially — the exact state of the shared
 acquisition samples, and profiling noise an uninterrupted run would
 have drawn.
 
-Writes are atomic (temp file + ``os.replace``), so a run killed
-mid-checkpoint leaves the previous checkpoint intact — which is the
-whole point of checkpointing a crashy run.
+Writes are atomic and durable (temp file + fsync + ``os.replace`` +
+directory fsync), so a run killed mid-checkpoint leaves the previous
+checkpoint intact and a completed save survives power loss — which is
+the whole point of checkpointing a crashy run.
 """
 
 from __future__ import annotations
@@ -64,7 +65,21 @@ def save_checkpoint(path, *, scheduler, bo_state, **meta) -> Path:
     try:
         with os.fdopen(fd, "wb") as fh:
             pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            # fsync *before* the rename: os.replace is atomic for the
+            # name, but without this a crash after the rename could
+            # still expose a truncated pickle under the final name.
+            fh.flush()
+            os.fsync(fh.fileno())
         os.replace(tmp, path)
+        try:
+            dir_fd = os.open(str(path.parent), os.O_RDONLY)
+        except OSError:
+            pass  # platform without directory fds; rename is still atomic
+        else:
+            try:
+                os.fsync(dir_fd)
+            finally:
+                os.close(dir_fd)
     except BaseException:
         try:
             os.unlink(tmp)

@@ -14,6 +14,11 @@ trace into decision-latency percentiles for the ``repro serve report``
 CLI and the ``serve-smoke`` CI gate.
 """
 
+from repro.serve.admission import (
+    AdmissionController,
+    AdmissionOutcome,
+    parse_priority_map,
+)
 from repro.serve.engine import IncrementalPlanner, approx_preference
 from repro.serve.events import (
     SERVE_EVENT_KINDS,
@@ -28,31 +33,50 @@ from repro.serve.report import ServeSummary, summarize_serve_run
 from repro.serve.service import (
     DECISION_WINDOW,
     RegistryFactory,
+    RemediationPolicy,
     SchedulerService,
     ServeDecision,
     ServeEpochTick,
 )
 from repro.serve.top import fetch_varz, render_top, run_top
+from repro.serve.wal import (
+    RecoveryInfo,
+    WriteAheadLog,
+    build_service,
+    read_wal,
+    recover_service,
+    service_spec,
+)
 
 __all__ = [
     "DECISION_WINDOW",
     "SERVE_EVENT_KINDS",
+    "AdmissionController",
+    "AdmissionOutcome",
     "ChurnProfile",
     "EventLog",
     "EventQueue",
     "GreedyScheduler",
     "IncrementalPlanner",
+    "RecoveryInfo",
     "RegistryFactory",
+    "RemediationPolicy",
     "SchedulerService",
     "ServeDecision",
     "ServeEpochTick",
     "ServeEvent",
     "ServeSummary",
+    "WriteAheadLog",
     "approx_preference",
+    "build_service",
     "fetch_varz",
     "from_fault",
     "generate_load",
+    "parse_priority_map",
+    "read_wal",
+    "recover_service",
     "render_top",
     "run_top",
+    "service_spec",
     "summarize_serve_run",
 ]

@@ -310,14 +310,18 @@ class IncrementalPlanner:
         self.groups.append(_Group())
         return True
 
-    def server_down(self, server: int) -> dict:
+    def server_down(self, server: int, *, priority_of=None) -> dict:
         """Mark a server dead and repair the schedule incrementally.
 
         One logical group must dissolve (groups ↔ alive servers are
         1:1).  The lightest group (least total processing time) is
         dissolved and its streams re-placed; a stream that no longer
         fits at its current config is degraded to the minimum config,
-        and evicted if even that fails.  Returns
+        and evicted if even that fails.  With ``priority_of`` (a
+        ``sid -> int`` callable) higher-priority streams re-place
+        first, so scarce capacity displaces the low classes — with the
+        default (all priorities equal) the order is plain id order,
+        bit-identical to the un-prioritized behavior.  Returns
         ``{"migrated", "degraded", "evicted"}`` stats.
         """
         if not (0 <= server < self.n_servers):
@@ -335,6 +339,8 @@ class IncrementalPlanner:
         )
         group = self.groups.pop(victim)
         affected = sorted({sub.owner for sub in group.subs})
+        if priority_of is not None:
+            affected.sort(key=lambda sid: (-priority_of(sid), sid))
         # Detach the dissolved group's subs; their owners re-place fully.
         for sub in list(group.subs):
             group.remove(sub)
@@ -517,6 +523,71 @@ class IncrementalPlanner:
                 return (r, s)
         return None
 
+    def utilization_of(self, sid: int) -> float:
+        """A stream's processing-time demand in server-seconds per second.
+
+        Each of the stream's ``k`` sub-streams runs at ``fps/k`` and
+        costs ``ptime`` per frame, so the total is ``ptime * fps``
+        regardless of the split — the resource denominator of
+        :meth:`eviction_scores`.
+        """
+        entry = self.entries[sid]
+        return entry.ptime * entry.fps
+
+    def eviction_scores(self) -> dict[int, float]:
+        """Marginal benefit per unit utilization for every stream.
+
+        ``score[sid]`` estimates how much *system benefit per
+        server-second of capacity* stream ``sid`` contributes: the
+        benefit of the current schedule minus the benefit with the
+        stream removed (running Eq. 2–4 sums, mean-bandwidth latency
+        approximation — the same O(1) model :meth:`rank_configs`
+        scores admissions with), divided by
+        :meth:`utilization_of`.  The admission controller evicts
+        lowest-score first, so shedding frees the most capacity per
+        unit of benefit given up.  Deterministic: pure arithmetic over
+        the entry table, no RNG, no wall clock.
+        """
+        if self.preference is None:
+            raise ValueError("eviction_scores needs a preference to score with")
+        if not self.entries:
+            return {}
+        eff = self.effective_bw()
+        mean_bw = float(np.mean(eff)) * 1e6 if eff.size else 1e6
+        sids = sorted(self.entries)
+        n = len(sids)
+        row_all = np.array(
+            [
+                (self.ptime_sum + self.bits_sum / mean_bw) / n,
+                self.acc_sum / n,
+                self.net_sum,
+                self.com_sum,
+                self.eng_sum,
+            ]
+        )
+        benefit_all = float(self.preference.value(row_all))
+        if n == 1:
+            sid = sids[0]
+            util = max(self.utilization_of(sid), _EPS)
+            return {sid: benefit_all / util}
+        rows = np.empty((n, 5))
+        for i, sid in enumerate(sids):
+            e = self.entries[sid]
+            m = n - 1
+            rows[i, 0] = (
+                self.ptime_sum - e.ptime + (self.bits_sum - e.bits) / mean_bw
+            ) / m
+            rows[i, 1] = (self.acc_sum - e.acc) / m
+            rows[i, 2] = self.net_sum - e.net
+            rows[i, 3] = self.com_sum - e.com
+            rows[i, 4] = self.eng_sum - e.eng
+        benefit_without = np.asarray(self.preference.value(rows), dtype=float)
+        return {
+            sid: (benefit_all - float(benefit_without[i]))
+            / max(self.utilization_of(sid), _EPS)
+            for i, sid in enumerate(sids)
+        }
+
     # -- full solves -------------------------------------------------------
     def clear_streams(self) -> None:
         """Drop every stream (server state and caches survive)."""
@@ -525,15 +596,20 @@ class IncrementalPlanner:
         self.acc_sum = self.net_sum = self.com_sum = self.eng_sum = 0.0
         self.ptime_sum = self.bits_sum = 0.0
 
-    def solve_all(self, textures: dict[int, float]) -> dict:
+    def solve_all(
+        self, textures: dict[int, float], *, priority_of=None
+    ) -> dict:
         """Greedy warm-up: admit-all at minimum config, then upgrade.
 
-        Admission first (every stream at the cheapest knob pair, id
-        order — maximizes the admitted population), then one
-        benefit-ordered upgrade pass per stream (first higher-ranked
-        config that still fits zero-jitter wins; :meth:`set_config`
-        rolls back cleanly on misfit).  The serve loop's "full solve"
-        when no batch scheduler is attached.  Returns
+        Admission first (every stream at the cheapest knob pair —
+        maximizes the admitted population), then one benefit-ordered
+        upgrade pass per stream (first higher-ranked config that still
+        fits zero-jitter wins; :meth:`set_config` rolls back cleanly on
+        misfit).  Both passes walk streams in id order, or — with a
+        ``priority_of`` callable — higher priority classes first, so
+        when capacity runs out it is the low classes that get rejected
+        or stay at min config.  The serve loop's "full solve" when no
+        batch scheduler is attached.  Returns
         ``{"admitted", "rejected"}`` stats.
         """
         if self.n_alive == 0:
@@ -541,14 +617,19 @@ class IncrementalPlanner:
         self.clear_streams()
         min_r = min(self.config_space.resolutions)
         min_s = min(self.config_space.fps_values)
+        order = sorted(textures)
+        if priority_of is not None:
+            order.sort(key=lambda sid: (-priority_of(sid), sid))
         stats = {"admitted": 0, "rejected": []}
-        for sid in sorted(textures):
+        for sid in order:
             if self.add_stream(sid, textures[sid], min_r, min_s):
                 stats["admitted"] += 1
             else:
                 stats["rejected"].append(sid)
-        for sid in sorted(self.entries):
-            entry = self.entries[sid]
+        for sid in order:
+            entry = self.entries.get(sid)
+            if entry is None:
+                continue  # rejected above
             for r, s in self.rank_configs(entry.texture):
                 if (r, s) == (entry.resolution, entry.fps):
                     break  # already at the best feasible config

@@ -28,7 +28,17 @@ __all__ = ["ChurnProfile", "generate_load"]
 
 @dataclass(frozen=True)
 class ChurnProfile:
-    """Shape of a churn workload (all rates per simulated hour)."""
+    """Shape of a churn workload (all rates per simulated hour).
+
+    The flash-crowd and diurnal knobs modulate the *arrival* rate only
+    (leaves, drifts, and flaps stay homogeneous): ``burst_multiplier``
+    scales arrivals inside the ``[burst_start_s, burst_start_s +
+    burst_duration_s)`` window — the overload wave admission control
+    exists to survive — and ``diurnal_amplitude`` adds a sinusoidal
+    day/night swing with period ``diurnal_period_s``.  Both default
+    off, in which case generation takes the exact legacy draw path
+    (byte-identical logs for existing seeds).
+    """
 
     hours: float = 1.0
     arrivals_per_hour: float = 100.0
@@ -39,6 +49,11 @@ class ChurnProfile:
     bw_factor_range: tuple[float, float] = (0.3, 1.0)
     min_active: int = 1
     flap_outage_s: float = 60.0
+    burst_start_s: float | None = None
+    burst_duration_s: float = 120.0
+    burst_multiplier: float = 1.0
+    diurnal_amplitude: float = 0.0
+    diurnal_period_s: float = 3600.0
 
     def __post_init__(self) -> None:
         if self.hours <= 0:
@@ -59,6 +74,55 @@ class ChurnProfile:
         lo, hi = self.bw_factor_range
         if not (0 < lo <= hi <= 1):
             raise ValueError(f"bad bw_factor_range {self.bw_factor_range}")
+        if self.burst_start_s is not None and self.burst_start_s < 0:
+            raise ValueError(
+                f"burst_start_s must be >= 0, got {self.burst_start_s}"
+            )
+        if self.burst_duration_s <= 0:
+            raise ValueError(
+                f"burst_duration_s must be > 0, got {self.burst_duration_s}"
+            )
+        if self.burst_multiplier < 1:
+            raise ValueError(
+                f"burst_multiplier must be >= 1, got {self.burst_multiplier}"
+            )
+        if not (0 <= self.diurnal_amplitude < 1):
+            raise ValueError(
+                f"diurnal_amplitude must be in [0, 1), "
+                f"got {self.diurnal_amplitude}"
+            )
+        if self.diurnal_period_s <= 0:
+            raise ValueError(
+                f"diurnal_period_s must be > 0, got {self.diurnal_period_s}"
+            )
+
+    @property
+    def modulated(self) -> bool:
+        """True when any arrival-rate modulation is active."""
+        burst = self.burst_start_s is not None and self.burst_multiplier > 1
+        return burst or self.diurnal_amplitude > 0
+
+    def arrival_rate_factor(self, t: float) -> float:
+        """Instantaneous arrival-rate multiplier at simulated time ``t``."""
+        f = 1.0
+        if self.diurnal_amplitude > 0:
+            f *= 1.0 + self.diurnal_amplitude * float(
+                np.sin(2.0 * np.pi * t / self.diurnal_period_s)
+            )
+        if (
+            self.burst_start_s is not None
+            and self.burst_start_s <= t < self.burst_start_s + self.burst_duration_s
+        ):
+            f *= self.burst_multiplier
+        return f
+
+    @property
+    def peak_rate_factor(self) -> float:
+        """Upper bound of :meth:`arrival_rate_factor` (thinning envelope)."""
+        peak = 1.0 + self.diurnal_amplitude
+        if self.burst_start_s is not None:
+            peak *= self.burst_multiplier
+        return peak
 
 
 def generate_load(
@@ -88,8 +152,29 @@ def generate_load(
         n = rng.poisson(rate_per_hour * profile.hours)
         return np.sort(rng.uniform(0.0, horizon, size=n))
 
+    def arrival_times(rate_per_hour: float) -> np.ndarray:
+        """Arrival draw: legacy path when homogeneous, thinning otherwise.
+
+        The inhomogeneous (flash-crowd/diurnal) process is drawn at the
+        peak envelope rate and thinned by the instantaneous rate factor
+        — a standard exact sampler.  With modulation off this is
+        byte-for-byte the legacy ``times`` call (no extra draws), so
+        existing seeds keep their logs.
+        """
+        if not profile.modulated:
+            return times(rate_per_hour)
+        peak = profile.peak_rate_factor
+        candidates = times(rate_per_hour * peak)
+        if candidates.size == 0:
+            return candidates
+        keep = rng.uniform(0.0, 1.0, size=candidates.size) * peak
+        accept = np.array(
+            [profile.arrival_rate_factor(float(t)) for t in candidates]
+        )
+        return candidates[keep < accept]
+
     slots = (
-        [(t, "stream_join") for t in times(profile.arrivals_per_hour)]
+        [(t, "stream_join") for t in arrival_times(profile.arrivals_per_hour)]
         + [(t, "stream_leave") for t in times(profile.departures_per_hour)]
         + [(t, "bandwidth_drift") for t in times(profile.drifts_per_hour)]
         + [(t, "flap") for t in times(profile.flaps_per_hour)]

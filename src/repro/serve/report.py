@@ -65,6 +65,12 @@ class ServeSummary:
     alerts_resolved: int = 0
     alerts: list = field(default_factory=list)
     counters: dict = field(default_factory=dict)
+    shed: int = 0
+    evicted_for_admission: int = 0
+    brownout_epochs: int = 0
+    breaker_opens: int = 0
+    breaker_closes: int = 0
+    wal_syncs: int = 0
 
     @property
     def cache_hit_ratio(self) -> float:
@@ -72,9 +78,31 @@ class ServeSummary:
         total = self.cache_hits + self.solved
         return self.cache_hits / total if total else 0.0
 
+    @property
+    def benefit_drop_ratio(self) -> float | None:
+        """Relative benefit loss first -> last (``None`` without scores).
+
+        Clamped at 0 (a run that *gained* benefit never fails the
+        gate); relative to ``|benefit_first|`` so the overload gate
+        means "kept at least ``1 - max_drop`` of the warm-up benefit".
+        """
+        if self.benefit_first is None or self.benefit_last is None:
+            return None
+        scale = max(abs(self.benefit_first), 1e-12)
+        return max(0.0, (self.benefit_first - self.benefit_last) / scale)
+
     def gate(self, max_p95_s: float) -> bool:
         """True when the p95 decision latency is within budget."""
         return self.decision_count > 0 and self.decision_p95_s <= max_p95_s
+
+    def gate_drop(self, max_drop: float) -> bool:
+        """True when the benefit drop stayed within ``max_drop``.
+
+        A run with no benefit trajectory fails (nothing to prove the
+        overload was survived).
+        """
+        drop = self.benefit_drop_ratio
+        return drop is not None and drop <= max_drop
 
     def to_dict(self) -> dict:
         return {
@@ -100,6 +128,13 @@ class ServeSummary:
             "n_streams_last": self.n_streams_last,
             "alerts_fired": self.alerts_fired,
             "alerts_resolved": self.alerts_resolved,
+            "benefit_drop_ratio": self.benefit_drop_ratio,
+            "shed": self.shed,
+            "evicted_for_admission": self.evicted_for_admission,
+            "brownout_epochs": self.brownout_epochs,
+            "breaker_opens": self.breaker_opens,
+            "breaker_closes": self.breaker_closes,
+            "wal_syncs": self.wal_syncs,
         }
 
     def render(self) -> str:
@@ -125,6 +160,14 @@ class ServeSummary:
                 f"  benefit           {self.benefit_first:+.4f} (first)"
                 f" -> {self.benefit_last:+.4f} (last)"
                 f" · {self.n_streams_last} streams at end"
+            )
+        if self.shed or self.brownout_epochs or self.breaker_opens:
+            lines.append(
+                f"  overload          {self.shed} joins shed"
+                f" · {self.evicted_for_admission} evicted for admission"
+                f" · {self.brownout_epochs} brownout epochs"
+                f" · breaker opened {self.breaker_opens}x"
+                f" / closed {self.breaker_closes}x"
             )
         if self.alerts_fired or self.alerts_resolved:
             lines.append(
@@ -159,6 +202,7 @@ def summarize_serve_run(path) -> ServeSummary:
     benefits: list[float] = []
     epoch_full_solves = epoch_cache_hits = epoch_solved = 0
     epoch_rejects = epoch_events = 0
+    epoch_shed = 0
     run_counters: dict | None = None
     for rec in iter_jsonl_records(path):
         kind = rec.get("event")
@@ -173,6 +217,9 @@ def summarize_serve_run(path) -> ServeSummary:
             epoch_cache_hits += int(rec.get("cache_hits", 0))
             epoch_solved += int(rec.get("solved", 0))
             epoch_rejects += len(rec.get("rejected", ()))
+            epoch_shed += len(rec.get("shed", ()))
+            if rec.get("mode") == "brownout":
+                summary.brownout_epochs += 1
             if rec.get("benefit") is not None:
                 benefits.append(float(rec["benefit"]))
             summary.n_streams_last = int(
@@ -196,6 +243,11 @@ def summarize_serve_run(path) -> ServeSummary:
         counters.get("serve.admission_rejects", epoch_rejects)
     )
     summary.repairs = int(counters.get("serve.repairs", 0))
+    summary.shed = int(counters.get("admit.shed", epoch_shed))
+    summary.evicted_for_admission = int(counters.get("admit.evicted_for", 0))
+    summary.breaker_opens = int(counters.get("breaker.opens", 0))
+    summary.breaker_closes = int(counters.get("breaker.closes", 0))
+    summary.wal_syncs = int(counters.get("wal.syncs", 0))
     summary.decision_count = len(durations)
     # Headline percentiles use the rolling-window definition shared
     # with SchedulerService.summary(): the last DECISION_WINDOW epochs.

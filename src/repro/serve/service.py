@@ -18,23 +18,43 @@ clock, and emits one :class:`ServeDecision` per epoch:
   events or a ``reoptimize_every`` schedule, via the scheduler's
   :meth:`~repro.core.scheduler.Scheduler.replan` (PaMO warm-starts).
 
+Overload hardening layers on top of that loop: joins route through an
+:class:`~repro.serve.admission.AdmissionController` (priority classes,
+benefit-aware eviction, token-bucket and queue-depth shedding), a
+:class:`~repro.resilience.breaker.CircuitBreaker` guards the full-solve
+path and drops the service into **brownout** (incremental-only deltas,
+min-config admissions) when solves breach their deadline or raise, and
+a :class:`RemediationPolicy` turns the attached
+:class:`~repro.obs.health.HealthMonitor`'s ``alert.fired`` edges into
+the same actions (enter brownout / shed joins / force a checkpoint)
+instead of only reporting them.
+
 Counters: ``serve.replans`` (epoch decisions), ``serve.full_solves``,
 ``serve.cache_hits``, ``serve.events``, ``serve.solved``,
-``serve.repairs``, ``serve.evictions``, ``serve.admission_rejects``.
+``serve.repairs``, ``serve.evictions``, ``serve.admission_rejects``,
+plus the hardening families ``admit.rejected``/``admit.shed``/
+``admit.evicted_for``, ``breaker.*``, ``serve.brownout_*``, and
+``serve.suppressed_full_solves``.
 
 The service pickles whole (planner, queue, scheduler, counters), so
 :func:`repro.resilience.checkpoint.save_checkpoint` gives mid-run
 checkpoint/resume with a bit-identical continuation — the determinism
 tests replay the same event log straight and split across a resume and
-require identical decision signatures.
+require identical decision signatures.  With a
+:class:`~repro.serve.wal.WriteAheadLog` attached, every submitted
+event and every epoch decision fingerprint also lands in an
+append-only journal, so a SIGKILL loses nothing the checkpoint missed
+(``repro serve recover`` = checkpoint + WAL suffix replay).
 """
 
 from __future__ import annotations
 
+import hashlib
+import struct
 import time
 from bisect import bisect_left, insort
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Iterable
 
 import numpy as np
@@ -44,11 +64,13 @@ from repro.core.result import ScheduleDecision
 from repro.obs import telemetry
 from repro.pref.decision_maker import LinearL1Preference
 from repro.sched.grouping import InfeasibleScheduleError
+from repro.serve.admission import AdmissionController
 from repro.serve.engine import IncrementalPlanner
 from repro.serve.events import EventQueue, ServeEvent
 
 __all__ = [
     "DECISION_WINDOW",
+    "RemediationPolicy",
     "SchedulerService",
     "ServeDecision",
     "ServeEpochTick",
@@ -67,7 +89,8 @@ DECISION_WINDOW = 512
 #: samples may sit in the scrape-time flush buffer before the serve
 #: thread flushes inline (bounds memory on scraper-less runs).
 _COUNTER_KEYS = (
-    "epochs", "full_solves", "cache_hits", "solved", "rejects", "evictions"
+    "epochs", "full_solves", "cache_hits", "solved", "rejects", "evictions",
+    "shed",
 )
 _FLUSH_EVERY = 4096
 
@@ -185,7 +208,48 @@ _SLO_GETTERS: dict[str, Callable] = {
     "benefit": lambda svc, w: w.last_benefit,
     "benefit_baseline": lambda svc, w: w.baseline,
     "benefit_drop_ratio": _get_benefit_drop,
+    "mode_brownout": lambda svc, w: 1 if svc.mode == "brownout" else 0,
+    "breaker_state": lambda svc, w: (
+        0 if svc.breaker is None else svc.breaker.rank
+    ),
 }
+
+
+@dataclass(frozen=True)
+class RemediationPolicy:
+    """How ``alert.fired``/``alert.resolved`` edges steer the service.
+
+    An alert whose severity reaches ``brownout_severity`` puts the
+    service into brownout (and the matching ``alert.resolved`` edge
+    lifts it, once no other reason holds); one reaching
+    ``shed_severity`` additionally turns on join shedding; one
+    reaching ``checkpoint_severity`` forces an immediate checkpoint to
+    the run's checkpoint path (crash insurance while unhealthy).
+    ``None`` disables that action.  Severities are the
+    :data:`repro.obs.health.SEVERITIES` names.
+    """
+
+    brownout_severity: str | None = "unhealthy"
+    shed_severity: str | None = None
+    checkpoint_severity: str | None = None
+
+    def __post_init__(self) -> None:
+        from repro.obs.health import SEVERITIES
+
+        for name in ("brownout_severity", "shed_severity", "checkpoint_severity"):
+            value = getattr(self, name)
+            if value is not None and value not in SEVERITIES[1:]:
+                raise ValueError(
+                    f"{name} must be one of {SEVERITIES[1:]} or None, "
+                    f"got {value!r}"
+                )
+
+    def to_dict(self) -> dict:
+        return {
+            "brownout_severity": self.brownout_severity,
+            "shed_severity": self.shed_severity,
+            "checkpoint_severity": self.checkpoint_severity,
+        }
 
 
 @dataclass
@@ -212,6 +276,8 @@ class ServeDecision:
     rejected: list[int]
     evicted: list[int]
     latency_s: float = 0.0
+    shed: list[int] = field(default_factory=list)
+    mode: str = "normal"
 
     def signature(self) -> tuple:
         """Bit-exact replay fingerprint (excludes wall-clock latency)."""
@@ -229,7 +295,41 @@ class ServeDecision:
             self.solved,
             tuple(self.rejected),
             tuple(self.evicted),
+            tuple(self.shed),
+            self.mode,
         )
+
+    def sig_hash(self) -> str:
+        """Short stable hash of the decision (the WAL fingerprint).
+
+        Covers the same content as :meth:`signature`, but the float
+        arrays go into the digest as raw little-endian IEEE-754 bytes
+        instead of ``repr`` text — identical determinism (bit-equal
+        floats hash bit-identically across processes), an order of
+        magnitude cheaper on the journaled per-epoch hot path.
+        """
+        h = hashlib.sha256()
+        h.update(f"{self.mode}#{len(self.events)}|".encode("utf-8"))
+        h.update("|".join(self.events).encode("utf-8"))
+        # One length-prefixed int vector covers every discrete field —
+        # length prefixes keep adjacent sequences from aliasing.
+        ints = [self.epoch, int(self.full_solve), self.cache_hits, self.solved]
+        for seq in (self.stream_ids, self.rejected, self.evicted, self.shed):
+            ints.append(len(seq))
+            ints.extend(seq)
+        ints.extend(
+            x
+            for sid, servers in sorted(self.assignment.items())
+            for x in (sid, len(servers), *servers)
+        )
+        h.update(struct.pack(f"<{len(ints)}q", *ints))
+        h.update(np.asarray(self.resolutions, dtype="<f8").tobytes())
+        h.update(np.asarray(self.fps, dtype="<f8").tobytes())
+        if self.outcome is not None:
+            h.update(np.asarray(self.outcome, dtype="<f8").tobytes())
+        if self.benefit is not None:
+            h.update(np.float64(self.benefit).tobytes())
+        return h.hexdigest()[:16]
 
     def to_dict(self) -> dict:
         return {
@@ -252,6 +352,8 @@ class ServeDecision:
             "solved": int(self.solved),
             "rejected": [int(s) for s in self.rejected],
             "evicted": [int(s) for s in self.evicted],
+            "shed": [int(s) for s in self.shed],
+            "mode": self.mode,
             "latency_s": float(self.latency_s),
         }
 
@@ -320,6 +422,16 @@ class SchedulerService:
         scheduler.Scheduler.replan` it (warm starts).  ``False``
         re-instantiates per solve — the legacy ``OnlineScheduler``
         contract.
+    admission:
+        :class:`~repro.serve.admission.AdmissionController` deciding
+        joins.  The default controller admits exactly what the bare
+        planner admits (no priorities, no shedding) — prior behavior.
+    breaker:
+        Optional :class:`~repro.resilience.breaker.CircuitBreaker`
+        guarding full solves; open = brownout.
+    remediation:
+        Optional :class:`RemediationPolicy` mapping health-monitor
+        alert edges to brownout/shed/checkpoint actions.
     """
 
     def __init__(
@@ -331,6 +443,9 @@ class SchedulerService:
         epoch_s: float = 1.0,
         reoptimize_every: int = 0,
         reuse_scheduler: bool = True,
+        admission: AdmissionController | None = None,
+        breaker=None,
+        remediation: RemediationPolicy | None = None,
     ) -> None:
         if epoch_s <= 0:
             raise ValueError(f"epoch_s must be > 0, got {epoch_s}")
@@ -344,6 +459,24 @@ class SchedulerService:
         self.epoch_s = float(epoch_s)
         self.reoptimize_every = int(reoptimize_every)
         self.reuse_scheduler = bool(reuse_scheduler)
+        self.admission = admission if admission is not None else AdmissionController()
+        self.breaker = breaker
+        self.remediation = remediation
+        # Operating mode: "normal", or "brownout" (incremental-only
+        # deltas, min-config admissions).  The reason sets track *why*
+        # — brownout lifts only when every reason has cleared.
+        self.mode = "normal"
+        self._brownout_reasons: set[str] = set()
+        self._shed_reasons: set[str] = set()
+        # Write-ahead log: transient handle + the persisted high-water
+        # sequence number (how recovery knows which WAL suffix to replay).
+        self.wal = None
+        self.wal_seq = 0
+        # epoch -> (mode, full_solve) pins during WAL replay; empty on
+        # live runs.
+        self._forced_modes: dict[int, tuple[str, bool]] = {}
+        self._stop = False
+        self._ckpt_path = None
         self.scheduler = None
         self.planner = IncrementalPlanner.for_problem(problem, preference=preference)
         self.queue = EventQueue()
@@ -425,12 +558,39 @@ class SchedulerService:
         return decision
 
     def submit(self, events: Iterable[ServeEvent]) -> int:
-        """Queue events for :meth:`run`; returns how many were queued."""
+        """Queue events for :meth:`run`; returns how many were queued.
+
+        With a WAL attached every event is journaled (with its
+        sequence number) *before* it enters the queue — write-ahead —
+        so a crash after ``submit`` returns can always replay it.
+        """
         n = 0
+        wal = self.wal
         for e in events:
+            if wal is not None:
+                self.wal_seq += 1
+                wal.append_event(self.wal_seq, e)
             self.queue.push(e)
             n += 1
         return n
+
+    def attach_wal(self, wal) -> None:
+        """Attach a :class:`~repro.serve.wal.WriteAheadLog`.
+
+        Transient like the metrics registry (checkpoints drop the file
+        handle but keep :attr:`wal_seq`); attach before :meth:`start`
+        so the warm-up decision is journaled too.
+        """
+        self.wal = wal
+
+    def request_stop(self) -> None:
+        """Ask :meth:`run` to stop after the epoch in flight (graceful).
+
+        Signal-handler safe: sets a flag the run loop checks between
+        epochs — the current epoch drains, the final checkpoint and
+        WAL sync still happen, and :meth:`run` returns normally.
+        """
+        self._stop = True
 
     def run(
         self,
@@ -448,33 +608,56 @@ class SchedulerService:
         ``checkpoint_every`` epochs (and at the end of the call).
         ``pace_s`` sleeps between epochs — replayed logs drain in
         milliseconds otherwise, too fast for a live scraper to watch.
+        :meth:`request_stop` (the CLI's SIGTERM/SIGINT handler) ends
+        the loop after the epoch in flight; the final checkpoint and
+        WAL sync still run.
         """
         if not self.started:
             self.start()
+        self._stop = False
+        self._ckpt_path = checkpoint_path or None
         made: list[ServeDecision] = []
-        while self.queue and (max_epochs is None or len(made) < max_epochs):
-            first = self.queue.peek()
-            epoch = self.epoch_of(first.time)
-            batch = [self.queue.pop()]
-            while self.queue and self.epoch_of(self.queue.peek().time) == epoch:
-                batch.append(self.queue.pop())
-            made.append(self.process_epoch(epoch, batch))
-            if (
-                checkpoint_path
-                and checkpoint_every > 0
-                and len(made) % checkpoint_every == 0
-            ):
+        try:
+            while self.queue and (max_epochs is None or len(made) < max_epochs):
+                first = self.queue.peek()
+                epoch = self.epoch_of(first.time)
+                batch = [self.queue.pop()]
+                while self.queue and self.epoch_of(self.queue.peek().time) == epoch:
+                    batch.append(self.queue.pop())
+                made.append(self.process_epoch(epoch, batch))
+                if (
+                    checkpoint_path
+                    and checkpoint_every > 0
+                    and len(made) % checkpoint_every == 0
+                ):
+                    self.save_checkpoint(checkpoint_path)
+                if self._stop:
+                    telemetry.counter("serve.graceful_stops")
+                    telemetry.event("serve.graceful_stop", epoch=int(self.epoch))
+                    break
+                if pace_s > 0 and self.queue:
+                    time.sleep(pace_s)
+            if checkpoint_path and made:
                 self.save_checkpoint(checkpoint_path)
-            if pace_s > 0 and self.queue:
-                time.sleep(pace_s)
-        if checkpoint_path and made:
-            self.save_checkpoint(checkpoint_path)
+        finally:
+            if self.wal is not None:
+                self.wal.sync()
         return made
 
     # -- the per-epoch decision -------------------------------------------
     def process_epoch(self, epoch: int, batch: list[ServeEvent]) -> ServeDecision:
-        """Apply one epoch's events and produce its decision."""
+        """Apply one epoch's events and produce its decision.
+
+        ``mode`` for the epoch (what admissions and the decision
+        record see) is the operating mode at epoch start — or, during
+        WAL replay, the mode the original run journaled for this
+        epoch, which pins recovered decisions to the recorded ones
+        even when a transition was triggered by wall-clock latency.
+        """
         self.epoch = epoch
+        forced = self._forced_modes.pop(epoch, None) if self._forced_modes else None
+        mode = forced[0] if forced is not None else self.mode
+        shed_mode = bool(self._shed_reasons)
         t = batch[-1].time if batch else epoch * self.epoch_s
         t0 = time.perf_counter()
         with telemetry.span("serve.decision"):
@@ -482,6 +665,7 @@ class SchedulerService:
             solved = 0
             rejected: list[int] = []
             evicted: list[int] = []
+            shed: list[int] = []
             want_full = False
             if any(ev.kind != "drift" for ev in batch):
                 self._topology_dirty = True
@@ -492,14 +676,41 @@ class SchedulerService:
                         sid = self._next_sid
                     self._next_sid = max(self._next_sid, sid + 1)
                     texture = float(ev.value) if ev.value is not None else 1.0
-                    self.textures[sid] = texture
-                    touched.add(sid)
-                    if self.planner.admit(sid, texture) is None:
-                        del self.textures[sid]
-                        rejected.append(sid)
-                        telemetry.counter("serve.admission_rejects")
-                    else:
+                    out = self.admission.request_join(
+                        self.planner,
+                        sid,
+                        texture,
+                        epoch=epoch,
+                        queue_depth=len(self.queue),
+                        min_config=mode == "brownout",
+                        shed_mode=shed_mode,
+                    )
+                    if out.admitted:
+                        self.textures[sid] = texture
+                        touched.add(sid)
                         solved += 1
+                        if out.evicted:
+                            for vid in out.evicted:
+                                self.textures.pop(vid, None)
+                                touched.add(vid)
+                            evicted.extend(out.evicted)
+                            telemetry.counter(
+                                "admit.evicted_for", len(out.evicted)
+                            )
+                            telemetry.counter(
+                                "serve.evictions", len(out.evicted)
+                            )
+                    elif out.action == "shed":
+                        shed.append(sid)
+                        telemetry.counter("admit.shed")
+                    else:
+                        rejected.append(sid)
+                        telemetry.counter("admit.rejected")
+                        telemetry.counter("serve.admission_rejects")
+                    for vid in out.dropped:  # failed rollback (pathological)
+                        self.textures.pop(vid, None)
+                        touched.add(vid)
+                        evicted.append(vid)
                 elif ev.kind == "stream_leave":
                     if self.planner.remove_stream(ev.target):
                         self.textures.pop(ev.target, None)
@@ -510,7 +721,9 @@ class SchedulerService:
                             ev.target, float(ev.value)
                         )
                 elif ev.kind == "server_down":
-                    stats = self.planner.server_down(ev.target)
+                    stats = self.planner.server_down(
+                        ev.target, priority_of=self.admission.priority_of
+                    )
                     repaired = stats["migrated"] + stats["degraded"]
                     solved += stats["degraded"]
                     touched.update(stats["evicted"])
@@ -525,11 +738,58 @@ class SchedulerService:
                     want_full = True
             if self.reoptimize_every and epoch % self.reoptimize_every == 0:
                 want_full = True
+            # The breaker sees every *wanted* full solve, replay or
+            # not, so its state marches identically on deterministic
+            # failures; only the run/skip choice is pinned by `forced`.
+            probe = False
+            if want_full and self.breaker is not None:
+                allowed = self.breaker.allow(epoch)
+                probe = allowed and self.breaker.state == "half_open"
+                if not allowed and forced is None:
+                    want_full = False
+                    telemetry.counter("breaker.short_circuits")
+            if forced is not None:
+                want_full = forced[1]
+            elif want_full and mode == "brownout" and not probe:
+                # Brownout: incremental-only.  Breaker probes bypass
+                # this (the breaker can only close by trying).
+                want_full = False
+                telemetry.counter("serve.suppressed_full_solves")
             full_stats: dict = {}
             if want_full:
-                full_stats = self._full_solve(reason="drift", epoch=epoch)
-                solved = len(self.planner.entries)
-                touched.update(self.planner.entries)
+                t_solve = time.perf_counter()
+                failed = False
+                try:
+                    full_stats = self._full_solve(reason="drift", epoch=epoch)
+                except InfeasibleScheduleError:
+                    raise
+                except Exception as exc:
+                    if self.breaker is None:
+                        raise
+                    # Batch-scheduler failures raise before the engine
+                    # re-embeds, so the live schedule is intact; count
+                    # the failure and carry on incrementally.
+                    failed = True
+                    full_stats = {}
+                    telemetry.counter("serve.full_solve_errors")
+                    telemetry.event(
+                        "serve.full_solve_error",
+                        epoch=int(epoch),
+                        error=repr(exc),
+                    )
+                if not failed:
+                    solved = len(self.planner.entries)
+                    touched.update(self.planner.entries)
+                if self.breaker is not None:
+                    label = self.breaker.record(
+                        epoch=epoch,
+                        duration_s=time.perf_counter() - t_solve,
+                        failed=failed,
+                    )
+                    if label is not None:
+                        self._on_breaker(label, epoch)
+                if failed:
+                    want_full = False  # the decision records an incremental epoch
             cache_hits = max(0, len(self.planner.entries) - len(
                 touched & set(self.planner.entries)
             )) if not want_full else 0
@@ -542,10 +802,70 @@ class SchedulerService:
                 cache_hits=cache_hits,
                 rejected=rejected + full_stats.get("rejected", []),
                 evicted=evicted + full_stats.get("evicted", []),
+                shed=shed,
+                mode=mode,
                 latency_s=time.perf_counter() - t0,
             )
         telemetry.counter("serve.events", len(batch))
         return decision
+
+    # -- brownout / remediation --------------------------------------------
+    def _on_breaker(self, label: str, epoch: int) -> None:
+        if label == "open":
+            self._enter_brownout("breaker", epoch=epoch)
+        elif label == "close":
+            self._exit_brownout("breaker", epoch=epoch)
+
+    def _enter_brownout(self, reason: str, *, epoch: int) -> None:
+        self._brownout_reasons.add(reason)
+        if self.mode != "brownout":
+            self.mode = "brownout"
+            telemetry.counter("serve.brownout_enters")
+            telemetry.event(
+                "serve.brownout_enter", epoch=int(epoch), reason=reason
+            )
+
+    def _exit_brownout(self, reason: str, *, epoch: int) -> None:
+        self._brownout_reasons.discard(reason)
+        if not self._brownout_reasons and self.mode == "brownout":
+            self.mode = "normal"
+            telemetry.counter("serve.brownout_exits")
+            telemetry.event(
+                "serve.brownout_exit", epoch=int(epoch), reason=reason
+            )
+
+    def _remediate(self, edge: dict, *, epoch: int) -> None:
+        """Close the loop on one health-alert edge (see RemediationPolicy)."""
+        from repro.obs.health import severity_rank
+
+        policy = self.remediation
+        if policy is None:
+            return
+        rank = severity_rank(edge.get("severity", "degraded"))
+        reason = f"alert:{edge.get('rule')}"
+        if edge.get("event") == "alert.fired":
+            if (
+                policy.shed_severity is not None
+                and rank >= severity_rank(policy.shed_severity)
+            ):
+                self._shed_reasons.add(reason)
+                telemetry.counter("serve.shed_mode_enters")
+            if (
+                policy.brownout_severity is not None
+                and rank >= severity_rank(policy.brownout_severity)
+            ):
+                self._enter_brownout(reason, epoch=epoch)
+            if (
+                policy.checkpoint_severity is not None
+                and rank >= severity_rank(policy.checkpoint_severity)
+                and self._ckpt_path
+                and not self._forced_modes  # not mid-replay
+            ):
+                self.save_checkpoint(self._ckpt_path)
+                telemetry.counter("serve.remediation_checkpoints")
+        else:  # alert.resolved
+            self._shed_reasons.discard(reason)
+            self._exit_brownout(reason, epoch=epoch)
 
     @staticmethod
     def _event_label(e: ServeEvent) -> str:
@@ -609,6 +929,8 @@ class SchedulerService:
         rejected: list[int],
         evicted: list[int],
         latency_s: float,
+        shed: list[int] | None = None,
+        mode: str = "normal",
     ) -> ServeDecision:
         sids, r, s = self.planner.decision_arrays()
         outcome = benefit = None
@@ -633,11 +955,20 @@ class SchedulerService:
             rejected=rejected,
             evicted=evicted,
             latency_s=latency_s,
+            shed=list(shed) if shed else [],
+            mode=mode,
         )
         self.decisions.append(decision)
         self._window.push(
             latency_s, benefit, cache_hits, solved, bool(full_solve)
         )
+        if self.wal is not None:
+            self.wal.append_epoch(
+                epoch=epoch,
+                mode=mode,
+                full=bool(full_solve),
+                sig=decision.sig_hash(),
+            )
         telemetry.counter("serve.replans")
         if not full_solve:  # serve.full_solves counted in _full_solve
             telemetry.counter("serve.cache_hits", cache_hits)
@@ -657,6 +988,8 @@ class SchedulerService:
                 solved=int(solved),
                 rejected=[int(x) for x in rejected],
                 evicted=[int(x) for x in evicted],
+                shed=[int(x) for x in decision.shed],
+                mode=mode,
                 latency_s=float(latency_s),
             )
         self._observe(decision)
@@ -702,6 +1035,9 @@ class SchedulerService:
             "evictions": metrics.counter(
                 "serve_evictions_total", "evicted streams"
             ),
+            "shed": metrics.counter(
+                "serve_sheds_total", "joins shed by admission control"
+            ),
             "latency": metrics.histogram(
                 "serve_decision_latency_seconds",
                 "per-epoch decision latency",
@@ -727,6 +1063,13 @@ class SchedulerService:
             ),
             "health": metrics.gauge(
                 "serve_health", "health state (0=ok, 1=degraded, 2=unhealthy)"
+            ),
+            "mode": metrics.gauge(
+                "serve_mode", "operating mode (0=normal, 1=brownout)"
+            ),
+            "breaker": metrics.gauge(
+                "serve_breaker_state",
+                "circuit breaker (0=closed, 1=half_open, 2=open)",
             ),
         }
         self._slo_probe = (
@@ -789,6 +1132,8 @@ class SchedulerService:
                 c["rejects"] += len(decision.rejected)
             if decision.evicted:
                 c["evictions"] += len(decision.evicted)
+            if decision.shed:
+                c["shed"] += len(decision.shed)
             self._mpending.append(decision.latency_s)
             if len(self._mpending) >= _FLUSH_EVERY:
                 with self.metrics.lock:
@@ -798,6 +1143,8 @@ class SchedulerService:
             edges = self.monitor.evaluate(snap_fn(), epoch=decision.epoch)
             for edge in edges:
                 self.alerts.append(dict(edge))
+                if self.remediation is not None:
+                    self._remediate(edge, epoch=decision.epoch)
                 kind = edge.pop("event")
                 telemetry.counter(f"serve.{kind.replace('.', '_')}")
                 telemetry.event(kind, epoch=decision.epoch, **edge)
@@ -863,6 +1210,10 @@ class SchedulerService:
                 from repro.obs.health import severity_rank
 
                 h["health"].set_locked(severity_rank(self.monitor.state))
+            h["mode"].set_locked(1 if self.mode == "brownout" else 0)
+            h["breaker"].set_locked(
+                0 if self.breaker is None else self.breaker.rank
+            )
 
     def health_snapshot(self) -> dict:
         """Windowed SLO inputs: the dict :class:`HealthMonitor` rules see.
@@ -894,6 +1245,8 @@ class SchedulerService:
             "benefit": benefit,
             "benefit_baseline": baseline,
             "benefit_drop_ratio": drop if benefit is not None else None,
+            "mode_brownout": 1 if self.mode == "brownout" else 0,
+            "breaker_state": 0 if self.breaker is None else self.breaker.rank,
         }
         return snap
 
@@ -994,9 +1347,16 @@ class SchedulerService:
 
     # -- checkpoint / resume ----------------------------------------------
     def save_checkpoint(self, path):
-        """Atomically pickle the whole service (engine, queue, scheduler)."""
+        """Atomically pickle the whole service (engine, queue, scheduler).
+
+        Syncs the WAL first: a checkpoint's ``wal_seq`` high-water mark
+        must never run ahead of the durable journal, or recovery would
+        skip events the checkpoint claims to have absorbed.
+        """
         from repro.resilience.checkpoint import save_checkpoint
 
+        if self.wal is not None:
+            self.wal.sync()
         return save_checkpoint(
             path,
             scheduler=self,
@@ -1034,6 +1394,8 @@ class SchedulerService:
         """
         state = self.__dict__.copy()
         state["metrics"] = None
+        state["wal"] = None  # file handle; wal_seq (the high-water mark) stays
+        state["_stop"] = False
         state["_mhandles"] = None
         state["_slo_probe"] = None  # compiled closures don't pickle
         state["_mcounts"] = None  # accumulator belongs to the registry
@@ -1048,6 +1410,18 @@ class SchedulerService:
         self.__dict__.setdefault("metrics", None)
         self.__dict__.setdefault("monitor", None)
         self.__dict__.setdefault("alerts", [])
+        # ... and before overload hardening existed.
+        self.__dict__.setdefault("admission", AdmissionController())
+        self.__dict__.setdefault("breaker", None)
+        self.__dict__.setdefault("remediation", None)
+        self.__dict__.setdefault("mode", "normal")
+        self.__dict__.setdefault("_brownout_reasons", set())
+        self.__dict__.setdefault("_shed_reasons", set())
+        self.__dict__.setdefault("wal", None)
+        self.__dict__.setdefault("wal_seq", 0)
+        self.__dict__.setdefault("_forced_modes", {})
+        self.__dict__.setdefault("_stop", False)
+        self.__dict__.setdefault("_ckpt_path", None)
         self.__dict__.setdefault("_mhandles", None)
         self.__dict__.setdefault("_mcounts", None)
         self.__dict__.setdefault("_mflushed", {})
@@ -1082,6 +1456,15 @@ class SchedulerService:
             "solved": sum(d.solved for d in self.decisions),
             "rejected": sum(len(d.rejected) for d in self.decisions),
             "evicted": sum(len(d.evicted) for d in self.decisions),
+            "shed": sum(len(d.shed) for d in self.decisions),
+            "brownout_epochs": sum(
+                1 for d in self.decisions if d.mode == "brownout"
+            ),
+            "mode": self.mode,
+            "breaker_state": (
+                None if self.breaker is None else self.breaker.state
+            ),
+            "breaker_opens": 0 if self.breaker is None else self.breaker.opens,
             "n_streams": len(self.planner.entries),
             "n_alive_servers": self.planner.n_alive,
             "benefit_first": benefits[0] if benefits else None,

@@ -96,6 +96,22 @@ def render_top(
         f"   rejects {summary.get('rejected', '-'):>5}"
         f"   evicted {summary.get('evicted', '-'):>5}",
     ]
+    mode = summary.get("mode")
+    if mode is not None and (
+        mode != "normal"
+        or summary.get("shed")
+        or summary.get("breaker_state") not in (None, "closed")
+        or summary.get("brownout_epochs")
+    ):
+        warn = _STATUS_COLOR.get("degraded", "") if color else ""
+        wreset = _RESET if color and warn else ""
+        shown = f"{warn}{mode.upper()}{wreset}" if mode != "normal" else mode
+        lines.append(
+            f"mode {shown:>13}"
+            f"   shed {summary.get('shed', 0):>6}"
+            f"   brownout epochs {summary.get('brownout_epochs', 0):>4}"
+            f"   breaker {summary.get('breaker_state') or 'off'}"
+        )
     benefit = snap.get("benefit")
     if benefit is not None:
         drop = snap.get("benefit_drop_ratio") or 0.0

@@ -1,0 +1,184 @@
+"""Property tests: overload hardening never breaks the theory.
+
+Random churn (joins at random priorities, leaves, overload pressure) is
+pushed through the :class:`~repro.serve.admission.AdmissionController`
+against a live :class:`~repro.serve.engine.IncrementalPlanner`, and
+after every single operation the planner's flattened schedule must
+still satisfy the paper's Const1/Const2 feasibility predicates — the
+controller may shed, evict, or reject, but it must never leave an
+infeasible schedule behind.  A second invariant pins the priority
+contract (evictions are strictly-lower-class only, lowest class
+first), and a third replays randomly generated event logs through the
+WAL to prove recovery is bit-identical to the uninterrupted run.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.problem import EVAProblem
+from repro.sched import const1_satisfied, const2_satisfied
+from repro.serve import (
+    AdmissionController,
+    IncrementalPlanner,
+    ServeEvent,
+    WriteAheadLog,
+    approx_preference,
+    build_service,
+    recover_service,
+    service_spec,
+)
+
+_SETTINGS = dict(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _planner(seed: int, n_streams: int = 3, n_servers: int = 2):
+    rng = np.random.default_rng(seed)
+    problem = EVAProblem(
+        n_streams,
+        rng.choice([8.0, 12.0, 16.0], size=n_servers),
+        textures=rng.uniform(0.7, 1.3, size=n_streams),
+    )
+    planner = IncrementalPlanner.for_problem(
+        problem, preference=approx_preference(problem)
+    )
+    planner.solve_all({i: float(problem.textures[i]) for i in range(n_streams)})
+    return planner
+
+
+def _feasible(planner) -> bool:
+    streams, assignment = planner.as_periodic_streams()
+    if not streams:
+        return True
+    return const1_satisfied(streams, assignment) and const2_satisfied(
+        streams, assignment
+    )
+
+
+@st.composite
+def churn_ops(draw):
+    """A random op sequence: (kind, priority, texture) per step."""
+    n = draw(st.integers(5, 30))
+    ops = []
+    for _ in range(n):
+        kind = draw(st.sampled_from(["join", "join", "join", "leave"]))
+        prio = draw(st.integers(0, 3))
+        texture = draw(st.floats(0.5, 1.5))
+        ops.append((kind, prio, texture))
+    return ops
+
+
+class TestFeasibilityUnderChurn:
+    @settings(**_SETTINGS)
+    @given(seed=st.integers(0, 2**16), ops=churn_ops())
+    def test_const1_const2_hold_after_every_op(self, seed, ops):
+        planner = _planner(seed)
+        pmap = {}
+        ctrl = AdmissionController(
+            priority_map=pmap, join_rate_per_epoch=4.0, max_queue_depth=8
+        )
+        assert _feasible(planner)
+        next_sid = 100
+        rng = np.random.default_rng(seed)
+        for epoch, (kind, prio, texture) in enumerate(ops):
+            if kind == "leave" and planner.entries:
+                sids = sorted(planner.entries)
+                planner.remove_stream(sids[int(rng.integers(len(sids)))])
+            elif kind == "join":
+                sid = next_sid
+                next_sid += 1
+                pmap[sid] = prio  # ctrl holds the same dict
+                ctrl.request_join(
+                    planner,
+                    sid,
+                    texture,
+                    epoch=epoch,
+                    queue_depth=int(rng.integers(0, 12)),
+                    min_config=bool(rng.integers(0, 2)),
+                )
+            assert _feasible(planner), f"infeasible after op {epoch} {kind}"
+
+    @settings(**_SETTINGS)
+    @given(seed=st.integers(0, 2**16), ops=churn_ops())
+    def test_evictions_are_strictly_lower_class(self, seed, ops):
+        planner = _planner(seed)
+        pmap = {i: 0 for i in planner.entries}
+        ctrl = AdmissionController(priority_map=pmap)
+        next_sid = 100
+        for epoch, (kind, prio, texture) in enumerate(ops):
+            if kind != "join":
+                continue
+            sid = next_sid
+            next_sid += 1
+            pmap[sid] = prio
+            resident_prio = {v: pmap.get(v, 0) for v in planner.entries}
+            out = ctrl.request_join(planner, sid, texture, epoch=epoch)
+            for victim in out.evicted:
+                assert resident_prio[victim] < prio, (
+                    f"evicted class {resident_prio[victim]} for class {prio}"
+                )
+            classes = [resident_prio[v] for v in out.evicted]
+            assert classes == sorted(classes)
+            if out.action == "rejected":
+                # Rejection must leave the resident set untouched.
+                assert set(planner.entries) == set(resident_prio)
+
+
+@st.composite
+def event_logs(draw):
+    """A random serve event log over a ~10-epoch horizon."""
+    n = draw(st.integers(3, 12))
+    events = []
+    for i in range(n):
+        t = draw(st.floats(0.1, 9.9))
+        kind = draw(
+            st.sampled_from(
+                ["stream_join", "stream_join", "stream_leave", "bandwidth_drift"]
+            )
+        )
+        if kind == "stream_join":
+            events.append(
+                ServeEvent(
+                    time=t, kind=kind, target=100 + i,
+                    value=draw(st.floats(0.6, 1.4)),
+                )
+            )
+        elif kind == "stream_leave":
+            events.append(ServeEvent(time=t, kind=kind, target=draw(st.integers(0, 4))))
+        else:
+            events.append(
+                ServeEvent(
+                    time=t, kind=kind, target=draw(st.integers(0, 1)),
+                    value=draw(st.floats(0.3, 1.0)),
+                )
+            )
+    return events
+
+
+class TestRecoveryBitIdentity:
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(seed=st.integers(0, 2**10), events=event_logs())
+    def test_replay_matches_uninterrupted_run(self, seed, events, tmp_path_factory):
+        tmp = tmp_path_factory.mktemp("walprop")
+        wal_path = tmp / f"s{seed}.wal"
+        spec = service_spec(
+            n_streams=4, bandwidths_mbps=[10.0, 14.0], seed=seed % 97
+        )
+        golden = build_service(spec)
+        with WriteAheadLog.create(wal_path, spec) as wal:
+            golden.attach_wal(wal)
+            golden.submit(events)
+            golden.start()
+            golden.run()
+        recovered, info = recover_service(wal_path)
+        recovered.run()
+        assert info.verify(recovered) == []
+        assert [
+            (d.epoch, d.sig_hash()) for d in recovered.decisions
+        ] == [(d.epoch, d.sig_hash()) for d in golden.decisions]

@@ -1,0 +1,316 @@
+"""AdmissionController: priorities, eviction ordering, shedding, rollback."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core.problem import EVAProblem
+from repro.obs import telemetry
+from repro.serve import (
+    AdmissionController,
+    IncrementalPlanner,
+    approx_preference,
+    parse_priority_map,
+)
+
+
+def _planner(n_streams=2, n_servers=2, seed=0, bw=None):
+    rng = np.random.default_rng(seed)
+    problem = EVAProblem(
+        n_streams,
+        bw if bw is not None else rng.choice([10.0, 15.0, 20.0], size=n_servers),
+        textures=rng.uniform(0.7, 1.3, size=n_streams),
+    )
+    planner = IncrementalPlanner.for_problem(
+        problem, preference=approx_preference(problem)
+    )
+    planner.solve_all({i: float(problem.textures[i]) for i in range(n_streams)})
+    return planner
+
+
+def _fill(planner, start_sid=100, texture=1.0, limit=200):
+    """Admit streams until the planner refuses (saturate capacity)."""
+    sid = start_sid
+    while planner.admit(sid, texture) is not None and sid < start_sid + limit:
+        sid += 1
+    assert sid < start_sid + limit, "planner never saturated"
+    return sid  # first sid that did NOT fit
+
+
+@pytest.fixture(autouse=True)
+def _clean_telemetry():
+    yield
+    telemetry.disable()
+    telemetry.reset()
+
+
+class TestPriorityMap:
+    def test_parse_string(self):
+        mapping, default = parse_priority_map("0=2, 7=1, default=3")
+        assert mapping == {0: 2, 7: 1}
+        assert default == 3
+
+    def test_parse_mapping(self):
+        mapping, default = parse_priority_map({"4": 9, "default": 1})
+        assert mapping == {4: 9}
+        assert default == 1
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError, match="bad priority-map entry"):
+            parse_priority_map("nonsense")
+
+    def test_priority_of(self):
+        ctrl = AdmissionController(priority_map={3: 5}, default_priority=1)
+        assert ctrl.priority_of(3) == 5
+        assert ctrl.priority_of(99) == 1
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            {"join_rate_per_epoch": 0.0},
+            {"join_burst": 0.5, "join_rate_per_epoch": 1.0},
+            {"max_queue_depth": -1},
+            {"max_evictions_per_join": -1},
+        ],
+    )
+    def test_bad_params(self, kw):
+        with pytest.raises(ValueError):
+            AdmissionController(**kw)
+
+
+class TestPlainAdmission:
+    def test_default_controller_matches_bare_planner(self):
+        """No map, no bucket, no depth: admit iff planner.admit does."""
+        a, b = _planner(seed=3), _planner(seed=3)
+        ctrl = AdmissionController()
+        sid = 100
+        while True:
+            direct = b.admit(sid, 1.0)
+            out = ctrl.request_join(a, sid, 1.0)
+            if direct is None:
+                # No priorities -> nothing is ever evictable either.
+                assert not out.admitted
+                break
+            assert out.admitted
+            assert out.config == direct
+            sid += 1
+        assert sorted(a.entries) == sorted(b.entries)
+
+    def test_min_config_admits_at_floor(self):
+        planner = _planner()
+        ctrl = AdmissionController()
+        out = ctrl.request_join(planner, 50, 1.0, min_config=True)
+        assert out.admitted
+        r, s = out.config
+        assert r == min(planner.config_space.resolutions)
+        assert s == min(planner.config_space.fps_values)
+
+
+class TestTokenBucket:
+    def test_burst_then_shed(self):
+        planner = _planner(n_servers=4, bw=[30.0] * 4)
+        ctrl = AdmissionController(join_rate_per_epoch=1.0, join_burst=2.0)
+        outs = [
+            ctrl.request_join(planner, 100 + i, 1.0, epoch=5) for i in range(4)
+        ]
+        assert [o.action for o in outs] == [
+            "admitted", "admitted", "shed", "shed",
+        ]
+        assert outs[2].reason == "token_bucket"
+
+    def test_refill_over_epochs(self):
+        planner = _planner(n_servers=4, bw=[30.0] * 4)
+        ctrl = AdmissionController(join_rate_per_epoch=1.0, join_burst=1.0)
+        assert ctrl.request_join(planner, 100, 1.0, epoch=0).admitted
+        assert ctrl.request_join(planner, 101, 1.0, epoch=0).action == "shed"
+        assert ctrl.request_join(planner, 102, 1.0, epoch=1).admitted
+
+    def test_default_burst_is_twice_rate(self):
+        ctrl = AdmissionController(join_rate_per_epoch=3.0)
+        assert ctrl._bucket.burst == 6.0
+
+
+class TestQueueDepthShedding:
+    def test_sheds_over_depth(self):
+        planner = _planner()
+        ctrl = AdmissionController(max_queue_depth=10)
+        out = ctrl.request_join(planner, 100, 1.0, queue_depth=11)
+        assert out.action == "shed"
+        assert out.reason == "queue_depth"
+        assert ctrl.request_join(planner, 101, 1.0, queue_depth=10).admitted
+
+    def test_shed_mode_overrides_depth(self):
+        planner = _planner()
+        ctrl = AdmissionController(max_queue_depth=1000)
+        out = ctrl.request_join(planner, 100, 1.0, shed_mode=True)
+        assert out.action == "shed"
+        assert out.reason == "remediation"
+
+    def test_protected_priority_bypasses_shedding(self):
+        planner = _planner()
+        ctrl = AdmissionController(
+            priority_map={100: 5}, max_queue_depth=0, protect_priority=5
+        )
+        assert ctrl.request_join(planner, 100, 1.0, queue_depth=99).admitted
+        assert (
+            ctrl.request_join(planner, 101, 1.0, queue_depth=99).action
+            == "shed"
+        )
+
+
+class TestEviction:
+    def test_high_priority_evicts_lowest_score_victim(self):
+        planner = _planner(n_streams=2, n_servers=2, bw=[10.0, 10.0])
+        joiner = _fill(planner)
+        scores = planner.eviction_scores()
+        expected_victim = min(scores, key=lambda v: (scores[v], v))
+        ctrl = AdmissionController(priority_map={joiner: 1})
+        before = set(planner.entries)
+        out = ctrl.request_join(planner, joiner, 1.0)
+        assert out.admitted
+        assert out.reason == "evicted_lower_priority"
+        assert out.evicted[0] == expected_victim
+        assert joiner in planner.entries
+        assert set(out.evicted) <= before
+
+    def test_never_evicts_equal_or_higher_class(self):
+        planner = _planner(n_streams=2, n_servers=2, bw=[10.0, 10.0])
+        joiner = _fill(planner)
+        # Everyone at the same (default) priority: no victims exist.
+        ctrl = AdmissionController()
+        out = ctrl.request_join(planner, joiner, 1.0)
+        assert out.action == "rejected"
+        assert out.reason == "no_lower_priority"
+        assert joiner not in planner.entries
+
+    def test_eviction_respects_class_order(self):
+        planner = _planner(n_streams=2, n_servers=2, bw=[10.0, 10.0])
+        joiner = _fill(planner)
+        resident = sorted(planner.entries)
+        # Half the residents are class 1, half class 0; a class-2 joiner
+        # must consume class-0 victims before touching class 1.
+        pmap = {sid: (1 if i % 2 else 0) for i, sid in enumerate(resident)}
+        pmap[joiner] = 2
+        ctrl = AdmissionController(priority_map=pmap)
+        out = ctrl.request_join(planner, joiner, 1.0)
+        assert out.admitted
+        classes = [pmap[v] for v in out.evicted]
+        assert classes == sorted(classes), "victims not lowest-class-first"
+
+    def test_zero_eviction_budget_never_removes(self):
+        planner = _planner(n_streams=2, n_servers=2, bw=[10.0, 10.0])
+        joiner = _fill(planner, texture=1.0)
+        before = {
+            sid: (e.resolution, e.fps) for sid, e in planner.entries.items()
+        }
+        ctrl = AdmissionController(
+            priority_map={joiner: 1}, max_evictions_per_join=0
+        )
+        out = ctrl.request_join(planner, joiner, 1.0)
+        assert out.action == "rejected"
+        assert out.reason == "no_fit"
+        after = {
+            sid: (e.resolution, e.fps) for sid, e in planner.entries.items()
+        }
+        assert after == before
+
+    def test_failed_eviction_restores_configs(self):
+        """A joiner that never fits rolls every victim back."""
+
+        class _BlockJoiner:
+            """Planner proxy that refuses one sid (forces rollback)."""
+
+            def __init__(self, inner, blocked):
+                self._inner = inner
+                self._blocked = blocked
+
+            def __getattr__(self, name):
+                return getattr(self._inner, name)
+
+            def admit(self, sid, texture):
+                if sid == self._blocked:
+                    return None
+                return self._inner.admit(sid, texture)
+
+            def add_stream(self, sid, texture, r, s):
+                if sid == self._blocked:
+                    return False
+                return self._inner.add_stream(sid, texture, r, s)
+
+        planner = _planner(n_streams=2, n_servers=2, bw=[10.0, 10.0])
+        joiner = _fill(planner)
+        before = {
+            sid: (e.texture, e.resolution, e.fps)
+            for sid, e in planner.entries.items()
+        }
+        ctrl = AdmissionController(
+            priority_map={joiner: 9}, max_evictions_per_join=2
+        )
+        out = ctrl.request_join(_BlockJoiner(planner, joiner), joiner, 1.0)
+        assert out.action == "rejected"
+        assert out.reason == "eviction_budget"
+        after = {
+            sid: (e.texture, e.resolution, e.fps)
+            for sid, e in planner.entries.items()
+        }
+        assert after == before
+        assert out.dropped == []
+
+
+class TestEvictionScores:
+    def test_scores_cover_all_streams(self):
+        planner = _planner(n_streams=4, n_servers=3)
+        scores = planner.eviction_scores()
+        assert set(scores) == set(planner.entries)
+
+    def test_empty_planner_scores_empty(self):
+        planner = _planner()
+        for sid in list(planner.entries):
+            planner.remove_stream(sid)
+        assert planner.eviction_scores() == {}
+
+    def test_scores_deterministic(self):
+        a = _planner(n_streams=4, n_servers=3, seed=7)
+        b = _planner(n_streams=4, n_servers=3, seed=7)
+        assert a.eviction_scores() == b.eviction_scores()
+
+    def test_scores_require_preference(self):
+        planner = _planner()
+        planner.preference = None
+        with pytest.raises(ValueError, match="preference"):
+            planner.eviction_scores()
+
+    def test_scores_divide_by_utilization(self):
+        """Scores are per unit utilization: score * util is finite benefit."""
+        planner = _planner(n_streams=3, n_servers=3)
+        scores = planner.eviction_scores()
+        for sid, score in scores.items():
+            assert np.isfinite(score)
+            assert np.isfinite(score * planner.utilization_of(sid))
+
+
+class TestSnapshotRoundTrip:
+    def test_snapshot_from_spec(self):
+        ctrl = AdmissionController(
+            priority_map={1: 2, 5: 1},
+            default_priority=1,
+            join_rate_per_epoch=2.0,
+            join_burst=5.0,
+            max_queue_depth=32,
+            protect_priority=2,
+            max_evictions_per_join=3,
+        )
+        clone = AdmissionController.from_spec(ctrl.snapshot())
+        assert clone.snapshot() == ctrl.snapshot()
+        assert clone.priority_of(5) == 1
+        assert clone.priority_of(99) == 1
+
+    def test_pickles(self):
+        ctrl = AdmissionController(join_rate_per_epoch=1.0)
+        planner = _planner()
+        ctrl.request_join(planner, 100, 1.0, epoch=3)
+        clone = pickle.loads(pickle.dumps(ctrl))
+        assert clone._bucket.last_epoch == 3

@@ -1,0 +1,224 @@
+"""Crash recovery: checkpoint + WAL replay is exactly-once, bit-identical.
+
+The in-process tests drive :func:`repro.serve.wal.recover_service`
+directly; the subprocess tests prove the operational story end to end —
+``repro serve run --wal --checkpoint`` SIGKILLed mid-flight recovers
+bit-identically via ``repro serve recover``, and SIGTERM drains
+gracefully with exit code 0.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.obs import telemetry
+from repro.serve import (
+    ServeEvent,
+    WriteAheadLog,
+    build_service,
+    recover_service,
+    service_spec,
+)
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture(autouse=True)
+def _clean_telemetry():
+    yield
+    telemetry.disable()
+    telemetry.reset()
+
+
+def _spec():
+    return service_spec(n_streams=5, bandwidths_mbps=[15.0, 20.0, 10.0], seed=3)
+
+
+def _events():
+    evs = []
+    for i in range(8):
+        evs.append(
+            ServeEvent(time=0.5 + i, kind="stream_join", target=100 + i, value=1.0)
+        )
+        if i % 2:
+            evs.append(ServeEvent(time=0.7 + i, kind="stream_leave", target=i // 2))
+    evs.append(ServeEvent(time=4.2, kind="bandwidth_drift", target=1, value=0.8))
+    evs.append(ServeEvent(time=6.2, kind="server_down", target=2))
+    evs.append(ServeEvent(time=8.2, kind="server_up", target=2))
+    return evs
+
+
+def _journaled_run(tmp_path, *, max_epochs=None, checkpoint=None):
+    """One serve run writing a WAL; returns (service, wal_path)."""
+    wal_path = tmp_path / "serve.wal"
+    service = build_service(_spec())
+    with WriteAheadLog.create(wal_path, _spec()) as wal:
+        service.attach_wal(wal)
+        service.submit(_events())
+        service.start()
+        service.run(max_epochs=max_epochs, checkpoint_path=checkpoint)
+    return service, wal_path
+
+
+def _sigs(service):
+    return [(d.epoch, d.sig_hash()) for d in service.decisions]
+
+
+class TestRecoverService:
+    def test_fresh_rebuild_is_bit_identical(self, tmp_path):
+        golden, wal_path = _journaled_run(tmp_path)
+        recovered, info = recover_service(wal_path)
+        assert not info.from_checkpoint
+        assert info.replayed_events == len(_events())
+        recovered.run()
+        assert info.verify(recovered) == []
+        assert _sigs(recovered) == _sigs(golden)
+
+    def test_checkpoint_plus_suffix_replay(self, tmp_path):
+        ckpt = tmp_path / "serve.ckpt"
+        golden, _ = _journaled_run(tmp_path / "golden")
+        (tmp_path / "crash").mkdir()
+        crashed, wal_path = _journaled_run(
+            tmp_path / "crash", max_epochs=3, checkpoint=ckpt
+        )
+        assert len(crashed.decisions) < len(golden.decisions)  # mid-run
+        recovered, info = recover_service(wal_path, checkpoint=ckpt)
+        assert info.from_checkpoint
+        assert info.replayed_events == 0  # every event was pre-checkpoint
+        recovered.run()
+        assert info.verify(recovered) == []
+        assert _sigs(recovered) == _sigs(golden)
+
+    def test_recovery_is_idempotent(self, tmp_path):
+        _, wal_path = _journaled_run(tmp_path)
+        a, _ = recover_service(wal_path)
+        b, _ = recover_service(wal_path)
+        a.run()
+        b.run()
+        assert _sigs(a) == _sigs(b)
+
+    def test_verify_flags_divergence(self, tmp_path):
+        _, wal_path = _journaled_run(tmp_path)
+        recovered, info = recover_service(wal_path)
+        recovered.run()
+        epoch = max(info.recorded)
+        info.recorded[epoch] = "0" * 16  # corrupt one journaled sig
+        mismatches = info.verify(recovered)
+        assert len(mismatches) == 1
+        assert mismatches[0]["epoch"] == epoch
+
+    def test_torn_tail_still_recovers(self, tmp_path):
+        _, wal_path = _journaled_run(tmp_path)
+        raw = wal_path.read_bytes()
+        wal_path.write_bytes(raw[:-9])  # crash tore the last record
+        recovered, info = recover_service(wal_path)
+        assert info.torn_lines == 1
+        recovered.run()
+        assert info.verify(recovered) == []
+
+
+def _cli(*args):
+    return [
+        sys.executable,
+        "-m",
+        "repro",
+        *args,
+    ]
+
+
+def _env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    return env
+
+
+RUN_FLAGS = [
+    "--streams", "5",
+    "--servers", "3",
+    "--seed", "11",
+    "--hours", "0.2",
+    "--arrivals-per-hour", "400",
+    "--departures-per-hour", "200",
+    "--epoch", "2.0",
+]
+
+
+class TestCrashRecoveryCli:
+    def test_sigkill_then_recover_bit_identical(self, tmp_path):
+        wal = tmp_path / "serve.wal"
+        ckpt = tmp_path / "serve.ckpt"
+        proc = subprocess.Popen(
+            _cli(
+                "serve", "run", *RUN_FLAGS,
+                "--wal", str(wal),
+                "--checkpoint", str(ckpt),
+                "--checkpoint-every", "10",
+                "--pace", "0.01",
+            ),
+            env=_env(),
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            cwd=str(tmp_path),
+        )
+        # Let it journal some epochs, then pull the plug.
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            if wal.exists() and wal.stat().st_size > 4096:
+                break
+            if proc.poll() is not None:
+                out = proc.stdout.read().decode()
+                pytest.fail(f"serve run exited early:\n{out}")
+            time.sleep(0.05)
+        proc.kill()  # SIGKILL: no handlers, no final sync
+        proc.wait(timeout=30)
+        assert wal.exists()
+
+        result = subprocess.run(
+            _cli(
+                "serve", "recover",
+                "--wal", str(wal),
+                *(["--checkpoint", str(ckpt)] if ckpt.exists() else []),
+            ),
+            env=_env(),
+            capture_output=True,
+            text=True,
+            timeout=120,
+            cwd=str(tmp_path),
+        )
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "bit-identical" in result.stdout
+
+    def test_sigterm_drains_gracefully(self, tmp_path):
+        wal = tmp_path / "serve.wal"
+        ckpt = tmp_path / "serve.ckpt"
+        proc = subprocess.Popen(
+            _cli(
+                "serve", "run", *RUN_FLAGS,
+                "--wal", str(wal),
+                "--checkpoint", str(ckpt),
+                "--checkpoint-every", "10",
+                "--pace", "0.05",
+            ),
+            env=_env(),
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            cwd=str(tmp_path),
+        )
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            if wal.exists() and wal.stat().st_size > 1024:
+                break
+            if proc.poll() is not None:
+                out = proc.stdout.read().decode()
+                pytest.fail(f"serve run exited early:\n{out}")
+            time.sleep(0.05)
+        proc.send_signal(signal.SIGTERM)
+        out, _ = proc.communicate(timeout=60)
+        assert proc.returncode == 0, out.decode()
+        # Drain left a final checkpoint behind: resume-able, not a crash.
+        assert ckpt.exists()
